@@ -1,0 +1,58 @@
+"""Figure 10 — total number of butterfly-support updates.
+
+Paper setup: BU vs BU++ vs PC on Github, D-label, D-style, Wiki-it.
+Expected shape: BU++ updates < BU updates (batching), and PC cuts >90% of
+the updates relative to BU on the hub-heavy datasets by compressing
+assigned edges out of later indexes.
+"""
+
+import pytest
+
+from benchmarks._shared import format_table, run_algorithm, write_result
+
+DATASETS = ("github", "d-label", "d-style", "wiki-it")
+ALGOS = ("BU", "BU++", "PC")
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig10_dataset(benchmark, dataset):
+    def run_all():
+        return {algo: run_algorithm(dataset, algo) for algo in ALGOS}
+
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert records["BU++"].updates <= records["BU"].updates
+    assert records["PC"].updates < records["BU"].updates
+    # the headline claim: PC removes the lion's share of updates
+    reduction_vs_bu = 1 - records["PC"].updates / max(records["BU"].updates, 1)
+    assert reduction_vs_bu > 0.5, f"PC reduction too small on {dataset}"
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_report(benchmark):
+    def collect():
+        return {
+            d: {a: run_algorithm(d, a) for a in ALGOS} for d in DATASETS
+        }
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, recs in table.items():
+        bu = recs["BU"].updates
+        pc = recs["PC"].updates
+        rows.append([
+            name,
+            str(bu),
+            str(recs["BU++"].updates),
+            str(pc),
+            f"{100 * (1 - pc / max(bu, 1)):.1f}%",
+        ])
+    lines = [
+        "Figure 10: total butterfly-support updates",
+        "paper shape: BU++ < BU; PC reduces >90% vs BU/BU++ on hub-heavy data",
+        "",
+    ]
+    lines += format_table(
+        ["dataset", "BU", "BU++", "PC", "PC cut vs BU"], rows
+    )
+    print("\n" + write_result("fig10", lines))

@@ -1,0 +1,56 @@
+"""Figure 11 — size of the online indexes.
+
+Paper setup: peak BE-Index size of BU, BU++ and PC on Github, D-label,
+D-style, Wiki-it.  Expected shape: BU and BU++ build the same full index;
+PC's per-iteration compressed indexes peak strictly smaller because each
+candidate subgraph omits both low-support edges and already-assigned edges.
+"""
+
+import pytest
+
+from benchmarks._shared import format_table, run_algorithm, write_result
+
+DATASETS = ("github", "d-label", "d-style", "wiki-it")
+ALGOS = ("BU", "BU++", "PC")
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_dataset(benchmark, dataset):
+    def run_all():
+        return {algo: run_algorithm(dataset, algo) for algo in ALGOS}
+
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert records["BU"].index_peak_bytes == records["BU++"].index_peak_bytes
+    assert records["PC"].index_peak_bytes < records["BU"].index_peak_bytes
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_report(benchmark):
+    def collect():
+        return {
+            d: {a: run_algorithm(d, a) for a in ALGOS} for d in DATASETS
+        }
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, recs in table.items():
+        bu = recs["BU"].index_peak_bytes
+        pc = recs["PC"].index_peak_bytes
+        rows.append([
+            name,
+            f"{bu / 1024:.1f}",
+            f"{recs['BU++'].index_peak_bytes / 1024:.1f}",
+            f"{pc / 1024:.1f}",
+            f"{bu / max(pc, 1):.1f}x",
+        ])
+    lines = [
+        "Figure 11: peak online-index size (KiB, modelled: 2 words per bloom",
+        "+ 2 per indexed edge + 2 per link, 8-byte words)",
+        "paper shape: PC's compressed per-iteration index < BU/BU++ full index",
+        "",
+    ]
+    lines += format_table(
+        ["dataset", "BU KiB", "BU++ KiB", "PC KiB", "BU/PC"], rows
+    )
+    print("\n" + write_result("fig11", lines))

@@ -1,0 +1,74 @@
+"""Figure 12 — scalability: time vs vertex-sample fraction.
+
+Paper setup: BU, BU++ and PC on induced subgraphs over 20%..100% of the
+vertices of Github, D-label, D-style, Wiki-it.  We draw the samples nested
+(each fraction is a prefix of one per-layer permutation) so edge counts grow
+monotonically despite heavy-tailed degrees.  Expected shape: every
+algorithm's cost grows with the sample fraction (the algorithms are
+scalable — no blow-up), and the relative ordering at 100% matches Fig. 9.
+"""
+
+import pytest
+
+from benchmarks._shared import format_table, run_algorithm, write_result
+from repro.datasets import load_dataset
+from repro.graph.sampling import nested_sample_fractions
+
+DATASETS = ("github", "d-label", "d-style", "wiki-it")
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+ALGOS = ("BU", "BU++", "PC")
+
+_series_cache = {}
+
+
+def _series(dataset):
+    if dataset in _series_cache:
+        return _series_cache[dataset]
+    base = load_dataset(dataset)
+    rows = []
+    samples = nested_sample_fractions(base, FRACTIONS, seed=42)
+    for fraction, graph in zip(FRACTIONS, samples):
+        times = {}
+        for algo in ALGOS:
+            record = run_algorithm(
+                dataset, algo, graph=graph, cache_key_extra=(fraction,)
+            )
+            times[algo] = record.seconds
+        rows.append((fraction, graph.num_edges, times))
+    _series_cache[dataset] = rows
+    return rows
+
+
+@pytest.mark.benchmark(group="fig12")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig12_dataset(benchmark, dataset):
+    rows = benchmark.pedantic(lambda: _series(dataset), rounds=1, iterations=1)
+    # cost grows with graph size: the full graph costs more than the 20%
+    # sample for every algorithm (weak but robust monotonicity check)
+    for algo in ALGOS:
+        assert rows[-1][2][algo] > rows[0][2][algo]
+    # edge counts themselves must grow
+    edge_counts = [m for _, m, __ in rows]
+    assert edge_counts == sorted(edge_counts)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_report(benchmark):
+    def collect():
+        return {d: _series(d) for d in DATASETS}
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [
+        "Figure 12: wall-clock seconds vs vertex-sample percentage",
+        "paper shape: all three algorithms scale smoothly with graph size",
+        "",
+    ]
+    for name, rows in table.items():
+        lines.append(f"[{name}]")
+        body = [
+            [f"{int(f * 100)}%", str(m)] + [f"{t[a]:.3f}" for a in ALGOS]
+            for f, m, t in rows
+        ]
+        lines += format_table(["sample", "|E|", "BU", "BU++", "PC"], body)
+        lines.append("")
+    print("\n" + write_result("fig12", lines))

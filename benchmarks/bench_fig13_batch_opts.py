@@ -1,0 +1,60 @@
+"""Figure 13 — effect of the batch-based optimizations.
+
+Paper setup: BU vs BU+ (batch edge processing) vs BU++ (+ batch bloom
+processing) on Github, D-label, D-style, Wiki-it.  Expected shape: batch
+edge processing gives the big cut in support updates (and time); batch bloom
+processing further enhances performance.
+"""
+
+import pytest
+
+from benchmarks._shared import format_table, run_algorithm, write_result
+
+DATASETS = ("github", "d-label", "d-style", "wiki-it")
+ALGOS = ("BU", "BU+", "BU++")
+
+
+@pytest.mark.benchmark(group="fig13")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig13_dataset(benchmark, dataset):
+    def run_all():
+        return {algo: run_algorithm(dataset, algo) for algo in ALGOS}
+
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # batch edge processing cuts the update count relative to plain BU
+    assert records["BU+"].updates < records["BU"].updates
+    # all three agree on the decomposition
+    assert len({rec.phi_max for rec in records.values()}) == 1
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_report(benchmark):
+    def collect():
+        return {
+            d: {a: run_algorithm(d, a) for a in ALGOS} for d in DATASETS
+        }
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, recs in table.items():
+        rows.append([
+            name,
+            f"{recs['BU'].seconds:.3f}",
+            f"{recs['BU+'].seconds:.3f}",
+            f"{recs['BU++'].seconds:.3f}",
+            str(recs["BU"].updates),
+            str(recs["BU+"].updates),
+            str(recs["BU++"].updates),
+        ])
+    lines = [
+        "Figure 13: batch-based optimizations (seconds and support updates)",
+        "paper shape: BU+ (batch edges) cuts cost vs BU; BU++ (batch blooms)",
+        "further enhances it",
+        "",
+    ]
+    lines += format_table(
+        ["dataset", "BU s", "BU+ s", "BU++ s",
+         "BU upd", "BU+ upd", "BU++ upd"],
+        rows,
+    )
+    print("\n" + write_result("fig13", lines))

@@ -1,0 +1,84 @@
+"""Figure 2 (motivation) — cost of one edge-removal operation.
+
+The paper's introductory example: in the Figure 2(a) construction the edge
+``(u1, v1)`` lies in exactly one butterfly, yet combination-based removal
+(as in [5]/[9]) pays ``d(u1) x d(v1)`` membership checks to find it, while
+the BE-Index walks straight to the 4 affected links.
+
+This bench quantifies that gap as the fan parameter grows: removal work for
+the hub edge via (a) combination enumeration and (b) the BE-Index.
+Expected shape: combination cost grows quadratically with the fan, BE-Index
+cost stays constant.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._shared import format_table, write_result
+from repro.butterfly.enumeration import butterflies_containing_edge
+from repro.graph.generators import hub_edge_example
+from repro.index.be_index import BEIndex
+
+FANS = (100, 200, 400, 800)
+
+
+def _measure(fan):
+    graph = hub_edge_example(fan)
+    eid = graph.edge_id(1, 1)
+
+    # combination-based: enumerate butterflies through (u1, v1)
+    start = time.perf_counter()
+    found = butterflies_containing_edge(graph, 1, 1)
+    comb_seconds = time.perf_counter() - start
+
+    # BE-Index: build once (amortized across all removals in a real peel),
+    # then a single RemoveEdge
+    index = BEIndex.build(graph)
+    touched = sum(len(index.blooms[b].twin) for b in index.blooms_of(eid))
+    start = time.perf_counter()
+    index.remove_edge(eid)
+    index_seconds = time.perf_counter() - start
+
+    checks = graph.degree_upper(1) * graph.degree_lower(1)
+    return {
+        "fan": fan,
+        "butterflies": len(found),
+        "comb_checks": checks,
+        "comb_seconds": comb_seconds,
+        "index_links": touched,
+        "index_seconds": index_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_motivation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_measure(fan) for fan in FANS], rounds=1, iterations=1
+    )
+    for row in rows:
+        # the paper's point: exactly one butterfly, quadratic check count,
+        # constant index footprint
+        assert row["butterflies"] == 1
+        assert row["index_links"] <= 4
+    # combination work grows ~quadratically; index removal stays flat
+    assert rows[-1]["comb_checks"] >= 16 * rows[0]["comb_checks"] * 0.9
+    table = [
+        [
+            str(r["fan"]),
+            str(r["comb_checks"]),
+            f"{r['comb_seconds'] * 1e3:.2f}",
+            str(r["index_links"]),
+            f"{r['index_seconds'] * 1e6:.0f}",
+        ]
+        for r in rows
+    ]
+    lines = [
+        "Figure 2 (motivation): removing the hub edge (u1, v1) — one butterfly",
+        "combination-based enumeration vs BE-Index removal",
+        "",
+    ]
+    lines += format_table(
+        ["fan", "comb checks", "comb ms", "index links", "index us"], table
+    )
+    print("\n" + write_result("fig2_motivation", lines))

@@ -1,0 +1,51 @@
+"""Figure 5 — time cost of BiT-BS, split into counting vs peeling.
+
+Paper setup: BiT-BS on Github, Twitter, D-label, D-style with the counting
+phase of [8].  Expected shape: the peeling phase dominates the counting
+phase by 1-3 orders of magnitude on every dataset — the bottleneck the
+BE-Index attacks.
+"""
+
+import pytest
+
+from benchmarks._shared import format_table, run_algorithm, write_result
+
+DATASETS = ("github", "twitter", "d-label", "d-style")
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_bs_phase_split(benchmark, dataset):
+    record = benchmark.pedantic(
+        lambda: run_algorithm(dataset, "BS"), rounds=1, iterations=1
+    )
+    counting = record.timings.get("counting", 0.0)
+    peeling = record.timings.get("peeling", 0.0)
+    assert peeling > counting, "peeling must dominate (the paper's bottleneck)"
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_report(benchmark):
+    def collect():
+        return {d: run_algorithm(d, "BS") for d in DATASETS}
+
+    records = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, rec in records.items():
+        counting = rec.timings.get("counting", 0.0)
+        peeling = rec.timings.get("peeling", 0.0)
+        rows.append([
+            name,
+            f"{counting:.4f}",
+            f"{peeling:.4f}",
+            f"{peeling / max(counting, 1e-9):.1f}x",
+        ])
+    lines = [
+        "Figure 5: time cost of BiT-BS (counting vs peeling, seconds)",
+        "paper shape: peeling dominates counting on all four datasets",
+        "",
+    ]
+    lines += format_table(
+        ["dataset", "counting(s)", "peeling(s)", "peel/count"], rows
+    )
+    print("\n" + write_result("fig5", lines))

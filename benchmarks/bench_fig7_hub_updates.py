@@ -1,0 +1,55 @@
+"""Figure 7 — support updates bucketed by the edge's original support.
+
+Paper setup: on D-style, the number of support updates received by edges in
+five original-support ranges, for BU, BU++ and PC.  Expected shape: in
+BU/BU++ the top bucket (hub edges) absorbs the bulk of all updates (~80% in
+the paper); PC cuts the hub-bucket updates by orders of magnitude because a
+hub edge stops being updated the moment its bitruss number is assigned.
+"""
+
+import pytest
+
+from benchmarks._shared import format_table, run_algorithm, write_result
+from repro.datasets import HUB_SHOWCASE
+
+ALGOS = ("BU", "BU++", "PC")
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_hub_bucket_shape(benchmark):
+    def collect():
+        return {a: run_algorithm(HUB_SHOWCASE, a) for a in ALGOS}
+
+    records = benchmark.pedantic(collect, rounds=1, iterations=1)
+    bu = records["BU"]
+    pc = records["PC"]
+    top = len(bu.bucket_totals) - 1
+    # hub edges dominate the bottom-up algorithms' update bill
+    assert bu.bucket_totals[top] > 0
+    hub_share_bu = bu.bucket_totals[top] / max(bu.updates, 1)
+    assert hub_share_bu > 0.2, "hub bucket should carry a large share for BU"
+    # PC must slash the hub bucket specifically
+    assert pc.bucket_totals[top] < bu.bucket_totals[top] / 5
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_report(benchmark):
+    def collect():
+        return {a: run_algorithm(HUB_SHOWCASE, a) for a in ALGOS}
+
+    records = benchmark.pedantic(collect, rounds=1, iterations=1)
+    labels = records["BU"].bucket_labels
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append(
+            [label]
+            + [str(records[a].bucket_totals[i]) for a in ALGOS]
+        )
+    rows.append(["total"] + [str(records[a].updates) for a in ALGOS])
+    lines = [
+        f"Figure 7: support updates by original-support range ({HUB_SHOWCASE})",
+        "paper shape: hub bucket dominates BU/BU++; PC slashes it",
+        "",
+    ]
+    lines += format_table(["support range"] + list(ALGOS), rows)
+    print("\n" + write_result("fig7", lines))

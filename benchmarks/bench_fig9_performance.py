@@ -1,0 +1,86 @@
+"""Figure 9 — wall-clock of BS / BU / BU++ / PC on all 15 datasets.
+
+Paper shape: the BE-Index algorithms beat BiT-BS on every dataset, by one
+to two orders of magnitude on the dense/skewed ones; BiT-BS is INF
+(>30 h) on Wiki-it and Wiki-fr.  BiT-PC is slightly slower than BiT-BU++ on
+small-support community datasets (Amazon, DBLP) because of its per-iteration
+pre-processing, and only BiT-PC finished the four largest datasets.
+
+Scale note: at our reduced scales all algorithms finish everywhere, and
+BiT-PC's pre-processing (pure-Python subgraph extraction + recounting) costs
+relatively more than in C++, so its wall-clock win narrows; the
+machine-neutral update counts (Fig. 10) carry the PC comparison.
+"""
+
+import pytest
+
+from benchmarks._shared import bs_allowed, format_table, run_algorithm, write_result
+from repro.datasets import dataset_names
+
+ALGOS = ("BS", "BU", "BU++", "PC")
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_fig9_dataset(benchmark, dataset):
+    def run_all():
+        records = {}
+        for algo in ALGOS:
+            if algo == "BS" and not bs_allowed(dataset):
+                continue
+            records[algo] = run_algorithm(dataset, algo)
+        return records
+
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # BE-Index algorithms must beat the baseline wherever it runs.  On the
+    # sparse community datasets the gap is small (~1.3x in the paper too),
+    # so sub-100ms runs get a noise allowance instead of a strict ordering.
+    if "BS" in records:
+        bs_time = records["BS"].seconds
+        slack = 1.0 if bs_time > 0.2 else 1.5
+        assert records["BU"].seconds < bs_time * slack
+        assert records["BU++"].seconds < bs_time * slack
+    # all algorithms agree on the outcome
+    phis = {rec.phi_max for rec in records.values()}
+    assert len(phis) == 1
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_report(benchmark):
+    def collect():
+        table = {}
+        for name in dataset_names():
+            row = {}
+            for algo in ALGOS:
+                if algo == "BS" and not bs_allowed(name):
+                    row[algo] = None  # INF in the paper
+                else:
+                    row[algo] = run_algorithm(name, algo)
+            table[name] = row
+        return table
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name, row in table.items():
+        cells = [name]
+        for algo in ALGOS:
+            rec = row[algo]
+            cells.append("INF" if rec is None else f"{rec.seconds:.3f}")
+        bs = row["BS"]
+        if bs is not None:
+            best = min(
+                rec.seconds for a, rec in row.items() if rec and a != "BS"
+            )
+            cells.append(f"{bs.seconds / best:.1f}x")
+        else:
+            cells.append("-")
+        rows.append(cells)
+    lines = [
+        "Figure 9: wall-clock seconds per algorithm on all datasets",
+        "paper shape: BU-family << BS everywhere; BS = INF on wiki-it/wiki-fr",
+        "",
+    ]
+    lines += format_table(
+        ["dataset", "BS", "BU", "BU++", "PC", "BS/best"], rows
+    )
+    print("\n" + write_result("fig9", lines))

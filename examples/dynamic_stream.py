@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Streaming maintenance: live butterfly supports over an edge stream.
+
+Simulates a rating stream into a user-item graph: edges arrive (and
+occasionally churn out), butterfly supports are maintained incrementally,
+and the bitruss hierarchy is re-derived at checkpoints — the deployment
+pattern for keeping the paper's structures fresh on dynamic data.
+
+Run with::
+
+    python examples/dynamic_stream.py
+"""
+
+import numpy as np
+
+from repro.maintenance import DynamicBipartiteGraph
+
+USERS = 120
+ITEMS = 80
+STREAM_LENGTH = 1500
+SEED = 7
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    dyn = DynamicBipartiteGraph(USERS, ITEMS)
+
+    created_total = 0
+    destroyed_total = 0
+    checkpoints = {STREAM_LENGTH // 4, STREAM_LENGTH // 2, STREAM_LENGTH}
+    for step in range(1, STREAM_LENGTH + 1):
+        # 85% arrivals (biased to a dense core), 15% churn
+        if rng.random() < 0.85 or dyn.num_edges == 0:
+            while True:
+                if rng.random() < 0.4:  # dense core traffic
+                    u = int(rng.integers(0, USERS // 6))
+                    v = int(rng.integers(0, ITEMS // 6))
+                else:
+                    u = int(rng.integers(USERS))
+                    v = int(rng.integers(ITEMS))
+                if not dyn.has_edge(u, v):
+                    break
+            created_total += dyn.insert_edge(u, v)
+        else:
+            edges = list(dyn.supports())
+            u, v = edges[int(rng.integers(len(edges)))]
+            destroyed_total += dyn.delete_edge(u, v)
+
+        if step in checkpoints:
+            result = dyn.decompose(algorithm="bit-bu++")
+            supports = list(dyn.supports().values())
+            print(
+                f"step {step:4d}: m={dyn.num_edges:4d} "
+                f"butterflies +{created_total}/-{destroyed_total} "
+                f"sup_max={max(supports)} max_k={result.max_k} "
+                f"|E(H_max)|={len(result.edges_with_phi_at_least(result.max_k))}"
+            )
+
+    # sanity: maintained supports equal a fresh static recount
+    from repro.butterfly.counting import count_per_edge
+
+    snapshot = dyn.snapshot()
+    static = count_per_edge(snapshot)
+    for eid, (u, v) in enumerate(snapshot.edges()):
+        assert dyn.support_of(u, v) == int(static[eid])
+    print("\nmaintained supports verified against a static recount")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fraud detection on a synthetic user-page "like" network (paper §I).
+
+A lockstep fraud campaign (40 accounts x 12 pages, near-complete) is planted
+inside a background of organic likes.  The bitruss hierarchy isolates the
+campaign without knowing its size in advance.
+
+Run with::
+
+    python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro.apps.fraud import detect_fraud_candidates
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import chung_lu_bipartite
+
+FRAUD_USERS = 40
+FRAUD_PAGES = 12
+SEED = 2026
+
+
+def build_network() -> tuple[BipartiteGraph, set[int], set[int]]:
+    """Organic background + planted lockstep block; returns ground truth."""
+    organic = chung_lu_bipartite(
+        500, 300, 2500, exponent_upper=2.2, exponent_lower=2.4, seed=SEED
+    )
+    rng = np.random.default_rng(SEED)
+    edges = set(organic.edges())
+    # The fraud accounts/pages are fresh vertices appended to each layer.
+    fraud_users = set(range(500, 500 + FRAUD_USERS))
+    fraud_pages = set(range(300, 300 + FRAUD_PAGES))
+    for u in fraud_users:
+        for v in fraud_pages:
+            if rng.random() < 0.9:  # near-complete lockstep block
+                edges.add((u, v))
+    graph = BipartiteGraph(500 + FRAUD_USERS, 300 + FRAUD_PAGES, sorted(edges))
+    return graph, fraud_users, fraud_pages
+
+
+def main() -> None:
+    graph, true_users, true_pages = build_network()
+    print(f"network: {graph} (planted block: {FRAUD_USERS} users x {FRAUD_PAGES} pages)")
+
+    report = detect_fraud_candidates(graph, min_level=3, max_core_fraction=0.2)
+    print(f"\nflagged core at bitruss level k={report.level}")
+    print(f"  users: {len(report.users)}, pages: {len(report.pages)}, "
+          f"edges: {len(report.edges)}, density: {report.density:.2f}")
+
+    found_users = report.users & true_users
+    found_pages = report.pages & true_pages
+    precision_u = len(found_users) / len(report.users) if report.users else 0.0
+    recall_u = len(found_users) / len(true_users)
+    print(f"\nground truth overlap:")
+    print(f"  user precision {precision_u:.2f}, user recall {recall_u:.2f}")
+    print(f"  page hits {len(found_pages)}/{len(true_pages)}")
+
+    print("\ninner hierarchy levels (edges per level):")
+    hierarchy = report.decomposition.hierarchy()
+    for k in sorted(hierarchy)[-5:]:
+        print(f"  |E(H_{k})| = {hierarchy[k]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Similarity-tier recommendation on a user-item graph (paper §I).
+
+Users/items inside deeper bitruss levels behave more alike; ranking unseen
+items by the depth at which they co-occur with a user's items yields a
+simple, explainable recommender.
+
+Run with::
+
+    python examples/recommendation.py
+"""
+
+from repro.apps.recommendation import recommend_items, similarity_tiers
+from repro.graph.generators import affiliation_bipartite
+
+
+def main() -> None:
+    # User-item interactions with overlapping taste communities.
+    graph = affiliation_bipartite(
+        300, 200, 40,
+        community_upper=8, community_lower=10,
+        p_in=0.55, noise_edges=300, seed=11,
+    )
+    print(f"user-item graph: {graph}")
+
+    tiers = similarity_tiers(graph)
+    print(f"\nsimilarity tiers (deepest = most cohesive):")
+    for k in sorted(tiers.tiers)[-6:]:
+        users, items = tiers.tiers[k]
+        print(f"  tier k={k:2d}: {len(users):4d} users, {len(items):4d} items")
+
+    # Pick the most active user and recommend.
+    user = max(range(graph.num_upper), key=graph.degree_upper)
+    owned = graph.neighbors_of_upper(user)
+    print(f"\nuser u{user} already interacted with {len(owned)} items")
+    print("top recommendations (item, shared-bitruss depth):")
+    for item, score in recommend_items(graph, user, top_n=8):
+        print(f"  item v{item}: depth {score}")
+
+
+if __name__ == "__main__":
+    main()

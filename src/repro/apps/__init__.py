@@ -1,0 +1,22 @@
+"""Application layers over bitruss decomposition (paper §I use cases)."""
+
+from repro.apps.community_search import (
+    Community,
+    bitruss_community,
+    max_level_of_vertex,
+)
+from repro.apps.fraud import FraudReport, detect_fraud_candidates
+from repro.apps.recommendation import SimilarityTiers, similarity_tiers
+from repro.apps.research_groups import GroupHierarchy, research_group_hierarchy
+
+__all__ = [
+    "Community",
+    "FraudReport",
+    "GroupHierarchy",
+    "SimilarityTiers",
+    "bitruss_community",
+    "detect_fraud_candidates",
+    "max_level_of_vertex",
+    "research_group_hierarchy",
+    "similarity_tiers",
+]

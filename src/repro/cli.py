@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-bitruss`` / ``python -m repro``.
+
+Subcommands
+-----------
+``decompose``   load an edge list (or a bundled dataset), run a chosen
+                algorithm, optionally write per-edge bitruss numbers.
+``k-bitruss``   extract the edges of the k-bitruss to a file.
+``community``   connected k-bitruss community around a query vertex.
+``stats``       Table II-style summary of a graph.
+``generate``    materialize a bundled synthetic dataset to an edge-list file.
+``datasets``    list bundled datasets.
+
+Examples
+--------
+::
+
+    repro-bitruss decompose --dataset github --algorithm pc --tau 0.05
+    repro-bitruss decompose graph.txt --base 1 --output phi.txt
+    repro-bitruss stats --dataset d-style
+    repro-bitruss generate d-label d-label.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import datasets
+from repro.butterfly.counting import count_butterflies_total, count_per_edge
+from repro.core.api import ALGORITHMS, bitruss_decomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.io import load_edge_list, save_edge_list, save_phi
+from repro.utils.stats import UpdateCounter
+
+
+def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
+    if args.dataset is not None and args.path is not None:
+        raise SystemExit("give either a file path or --dataset, not both")
+    if args.dataset is not None:
+        return datasets.load_dataset(args.dataset)
+    if args.path is None:
+        raise SystemExit("a file path or --dataset is required")
+    return load_edge_list(args.path, base=args.base)
+
+
+def _add_input_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", nargs="?", help="edge-list file (text or .gz)")
+    parser.add_argument(
+        "--dataset",
+        choices=datasets.dataset_names(),
+        help="use a bundled synthetic dataset instead of a file",
+    )
+    parser.add_argument(
+        "--base",
+        type=int,
+        default=0,
+        help="id base of the input file (KONECT files use 1; default 0)",
+    )
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    counter = UpdateCounter()
+    result = bitruss_decomposition(
+        graph,
+        algorithm=args.algorithm,
+        tau=args.tau,
+        counter=counter,
+    )
+    print(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
+    print(result.stats.summary())
+    print(f"max bitruss number: {result.max_k}")
+    hierarchy = result.hierarchy()
+    shown = sorted(hierarchy)[: args.levels]
+    for k in shown:
+        print(f"  |E(H_{k})| = {hierarchy[k]}")
+    if len(hierarchy) > args.levels:
+        print(f"  ... ({len(hierarchy) - args.levels} more levels)")
+    if args.json:
+        payload = {
+            "algorithm": result.stats.algorithm,
+            "max_k": result.max_k,
+            "hierarchy": {str(k): c for k, c in hierarchy.items()},
+            "updates": result.stats.updates,
+            "timings": result.stats.timings,
+        }
+        print(json.dumps(payload, indent=2))
+    if args.output:
+        save_phi(result.phi, args.output)
+        print(f"wrote bitruss numbers to {args.output}")
+    return 0
+
+
+def _cmd_k_bitruss(args: argparse.Namespace) -> int:
+    from repro.core.bitruss import k_bitruss_direct
+
+    graph = _load_graph(args)
+    eids = k_bitruss_direct(graph, args.k)
+    sub, _ = graph.subgraph_from_edge_ids(eids)
+    print(f"{args.k}-bitruss: {len(eids)} edges")
+    if args.output:
+        save_edge_list(sub, args.output, base=args.base)
+        print(f"wrote {args.k}-bitruss edge list to {args.output}")
+    return 0
+
+
+def _cmd_community(args: argparse.Namespace) -> int:
+    from repro.apps.community_search import bitruss_community
+
+    graph = _load_graph(args)
+    kwargs = {}
+    if args.upper is not None:
+        kwargs["upper"] = args.upper
+    if args.lower is not None:
+        kwargs["lower"] = args.lower
+    community = bitruss_community(graph, k=args.k, **kwargs)
+    print(
+        f"community at k={args.k}: {len(community.upper)} upper, "
+        f"{len(community.lower)} lower, {len(community.edges)} edges"
+    )
+    for u, v in sorted(community.edges)[: args.limit]:
+        print(f"  {u} {v}")
+    if len(community.edges) > args.limit:
+        print(f"  ... ({len(community.edges) - args.limit} more)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    support = count_per_edge(graph)
+    butterflies = count_butterflies_total(graph)
+    print(f"|E|      = {graph.num_edges}")
+    print(f"|U|      = {graph.num_upper}")
+    print(f"|L|      = {graph.num_lower}")
+    print(f"⋈G       = {butterflies}")
+    print(f"sup_max  = {int(support.max()) if len(support) else 0}")
+    if args.phi_max:
+        result = bitruss_decomposition(graph, algorithm="bit-pc")
+        print(f"φ_max    = {result.max_k}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = datasets.load_dataset(args.dataset)
+    save_edge_list(graph, args.output, base=args.base)
+    print(
+        f"wrote {args.dataset} ({graph.num_edges} edges, "
+        f"|U|={graph.num_upper}, |L|={graph.num_lower}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name in datasets.dataset_names():
+        spec = datasets.dataset_spec(name)
+        print(f"{name:14s} {spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bitruss",
+        description="Bitruss decomposition for bipartite graphs (Wang et al., ICDE 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dec = sub.add_parser("decompose", help="compute bitruss numbers")
+    _add_input_options(p_dec)
+    p_dec.add_argument(
+        "--algorithm",
+        default="bit-bu++",
+        choices=sorted(ALGORITHMS),
+        help="decomposition algorithm (default bit-bu++)",
+    )
+    p_dec.add_argument("--tau", type=float, default=0.02, help="BiT-PC tau")
+    p_dec.add_argument("--output", help="write per-edge bitruss numbers here")
+    p_dec.add_argument(
+        "--levels", type=int, default=10, help="hierarchy levels to print"
+    )
+    p_dec.add_argument(
+        "--json", action="store_true", help="also print a JSON summary"
+    )
+    p_dec.set_defaults(func=_cmd_decompose)
+
+    p_kb = sub.add_parser("k-bitruss", help="extract the k-bitruss subgraph")
+    _add_input_options(p_kb)
+    p_kb.add_argument("-k", type=int, required=True, help="cohesion level")
+    p_kb.add_argument("--output", help="write the subgraph edge list here")
+    p_kb.set_defaults(func=_cmd_k_bitruss)
+
+    p_com = sub.add_parser(
+        "community", help="k-bitruss community around a query vertex"
+    )
+    _add_input_options(p_com)
+    p_com.add_argument("-k", type=int, required=True, help="cohesion level")
+    group = p_com.add_mutually_exclusive_group(required=True)
+    group.add_argument("--upper", type=int, help="query upper-layer vertex")
+    group.add_argument("--lower", type=int, help="query lower-layer vertex")
+    p_com.add_argument(
+        "--limit", type=int, default=20, help="edges to print (default 20)"
+    )
+    p_com.set_defaults(func=_cmd_community)
+
+    p_stats = sub.add_parser("stats", help="Table II-style graph summary")
+    _add_input_options(p_stats)
+    p_stats.add_argument(
+        "--phi-max",
+        action="store_true",
+        help="also run a decomposition to report φ_max (slower)",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_gen = sub.add_parser("generate", help="write a bundled dataset to a file")
+    p_gen.add_argument("dataset", choices=datasets.dataset_names())
+    p_gen.add_argument("output")
+    p_gen.add_argument("--base", type=int, default=0)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_ls = sub.add_parser("datasets", help="list bundled datasets")
+    p_ls.set_defaults(func=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Companion cohesive-subgraph models from the paper's related work.
+
+The paper positions bitruss against core-like models ((α,β)-core, [20]) and
+clique-like models; this subpackage provides the core-like neighbours both
+for comparison and as cheap pre-filters for bitruss computations (every
+k-bitruss lives inside suitable degree-based cores).
+"""
+
+from repro.cohesion.ab_core import (
+    ab_core_decomposition_for_alpha,
+    alpha_beta_core,
+    degree_prefilter_for_bitruss,
+)
+
+__all__ = [
+    "ab_core_decomposition_for_alpha",
+    "alpha_beta_core",
+    "degree_prefilter_for_bitruss",
+]

@@ -1,0 +1,27 @@
+"""Bitruss decomposition algorithms and the public API."""
+
+from repro.core.api import ALGORITHMS, bitruss_decomposition
+from repro.core.bit_bs import bit_bs
+from repro.core.bit_bu import bit_bu
+from repro.core.bit_bu_batch import bit_bu_plus, bit_bu_plus_plus
+from repro.core.bit_pc import bit_pc, largest_possible_bitruss
+from repro.core.bitruss import k_bitruss_direct, k_bitruss_edges, k_bitruss_subgraph
+from repro.core.result import BitrussDecomposition
+from repro.core.verification import reference_decomposition, verify_decomposition
+
+__all__ = [
+    "ALGORITHMS",
+    "BitrussDecomposition",
+    "bit_bs",
+    "bit_bu",
+    "bit_bu_plus",
+    "bit_bu_plus_plus",
+    "bit_pc",
+    "bitruss_decomposition",
+    "k_bitruss_direct",
+    "k_bitruss_edges",
+    "k_bitruss_subgraph",
+    "largest_possible_bitruss",
+    "reference_decomposition",
+    "verify_decomposition",
+]

@@ -1,0 +1,87 @@
+"""BiT-BU — bottom-up bitruss decomposition on the BE-Index (Algorithm 4).
+
+Counting, index construction, then peeling: edges are removed in
+non-decreasing support order and each removal is Algorithm 2's
+index-mediated edge removal operation — ``O(sup(e))`` instead of the
+baseline's combination-based enumeration.  Total time
+``O(Σ min(d(u), d(v)) + ⋈G)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import BitrussDecomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.index.be_index import BEIndex
+from repro.utils.bucket_queue import BucketQueue
+from repro.utils.stats import (
+    DecompositionStats,
+    IndexSizeModel,
+    PhaseTimer,
+    UpdateCounter,
+)
+
+
+def bit_bu(
+    graph: BipartiteGraph,
+    *,
+    counter: Optional[UpdateCounter] = None,
+    timer: Optional[PhaseTimer] = None,
+    size_model: Optional[IndexSizeModel] = None,
+    queue_factory=None,
+) -> BitrussDecomposition:
+    """Run BiT-BU and return the full decomposition.
+
+    ``queue_factory`` (default :class:`~repro.utils.bucket_queue.BucketQueue`)
+    lets the ablation benches swap the peeling queue for any object with
+    ``push`` / ``update`` / ``pop_min`` / ``is_empty``.
+    """
+    timer = timer if timer is not None else PhaseTimer()
+    size_model = size_model if size_model is not None else IndexSizeModel()
+
+    # The BE-Index construction performs the same priority-obeyed wedge
+    # traversal as the counting algorithm of [8], so the per-edge supports
+    # fall out of `build` directly (counting + construction in one pass,
+    # both O(sum of min degrees)).
+    with timer.time("index construction"):
+        index = BEIndex.build(graph)
+    size_model.observe(*index.size_components())
+
+    phi = np.zeros(graph.num_edges, dtype=np.int64)
+
+    with timer.time("peeling"):
+        if queue_factory is None:
+            queue = BucketQueue.from_keys(index.support)
+        else:
+            queue = queue_factory()
+            for eid, key in enumerate(index.support):
+                queue.push(eid, int(key))
+        level = 0
+        while not queue.is_empty():
+            eid, sup_e = queue.pop_min()
+            # Advancing the level in one jump is equivalent to Algorithm 4's
+            # `k <- k + 1` outer loop: levels with no edges assign nothing.
+            if sup_e > level:
+                level = sup_e
+            phi[eid] = level
+            index.remove_edge(
+                eid,
+                counter=counter,
+                on_change=lambda other, value: queue.update(other, value),
+            )
+
+    stats = DecompositionStats(
+        algorithm="BiT-BU",
+        updates=counter.total if counter is not None else 0,
+        update_buckets=(
+            list(zip(counter.bucket_labels(), counter.bucket_totals()))
+            if counter is not None
+            else []
+        ),
+        timings=timer.as_dict(),
+        index_peak_bytes=size_model.peak_bytes,
+    )
+    return BitrussDecomposition(graph, phi, stats)

@@ -1,0 +1,136 @@
+"""The result object returned by every decomposition algorithm."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.stats import DecompositionStats
+
+
+class BitrussDecomposition:
+    """Bitruss numbers of a bipartite graph plus run statistics.
+
+    Attributes
+    ----------
+    graph:
+        The decomposed graph.
+    phi:
+        ``int64`` array with ``phi[eid]`` the bitruss number of edge ``eid``.
+    stats:
+        :class:`~repro.utils.stats.DecompositionStats` describing the run
+        (algorithm name, timings, support-update counts, index size).
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        phi: np.ndarray,
+        stats: DecompositionStats,
+    ) -> None:
+        if len(phi) != graph.num_edges:
+            raise ValueError("phi must have one entry per edge")
+        self.graph = graph
+        self.phi = np.asarray(phi, dtype=np.int64)
+        self.stats = stats
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def max_k(self) -> int:
+        """The largest bitruss number of any edge (Table II's φ_max)."""
+        return int(self.phi.max()) if len(self.phi) else 0
+
+    def phi_of(self, u: int, v: int) -> int:
+        """Bitruss number of edge ``(u, v)``."""
+        return int(self.phi[self.graph.edge_id(u, v)])
+
+    def edges_with_phi_at_least(self, k: int) -> List[int]:
+        """Edge ids of the k-bitruss ``H_k``."""
+        return [int(e) for e in np.nonzero(self.phi >= k)[0]]
+
+    def k_bitruss(self, k: int) -> BipartiteGraph:
+        """The k-bitruss as a subgraph (original vertex ids preserved)."""
+        sub, _ = self.graph.subgraph_from_edge_ids(self.edges_with_phi_at_least(k))
+        return sub
+
+    def hierarchy(self) -> Dict[int, int]:
+        """Map every level ``k`` to ``|E(H_k)|`` for k = 0..max_k.
+
+        ``H_0 ⊇ H_1 ⊇ ... ⊇ H_max`` — the nested-community hierarchy the
+        paper's applications exploit.
+        """
+        counts: Dict[int, int] = {}
+        for k in range(self.max_k + 1):
+            counts[k] = int(np.count_nonzero(self.phi >= k))
+        return counts
+
+    def level_sets(self) -> Dict[int, List[int]]:
+        """Map each occurring bitruss number to the edge ids holding it."""
+        levels: Dict[int, List[int]] = {}
+        for eid, k in enumerate(self.phi):
+            levels.setdefault(int(k), []).append(eid)
+        return levels
+
+    def as_dict(self) -> Dict[Tuple[int, int], int]:
+        """``{(u, v): phi}`` mapping for user-facing consumption."""
+        return {
+            self.graph.edge_endpoints(eid): int(k)
+            for eid, k in enumerate(self.phi)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BitrussDecomposition(m={self.graph.num_edges}, "
+            f"max_k={self.max_k}, algorithm={self.stats.algorithm!r})"
+        )
+
+
+def save_decomposition(result: BitrussDecomposition, path) -> None:
+    """Persist a decomposition (graph shape + phi) as JSON.
+
+    Stores the layer sizes, the edge list and the per-edge bitruss numbers;
+    run statistics are included read-only for provenance.
+    """
+    import json
+
+    payload = {
+        "format": "repro-bitruss-decomposition-v1",
+        "num_upper": result.graph.num_upper,
+        "num_lower": result.graph.num_lower,
+        "edges": result.graph.to_edge_list(),
+        "phi": [int(k) for k in result.phi],
+        "stats": {
+            "algorithm": result.stats.algorithm,
+            "updates": result.stats.updates,
+            "timings": result.stats.timings,
+            "iterations": result.stats.iterations,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_decomposition(path) -> BitrussDecomposition:
+    """Load a decomposition written by :func:`save_decomposition`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-bitruss-decomposition-v1":
+        raise ValueError(f"{path}: not a saved bitruss decomposition")
+    graph = BipartiteGraph(
+        payload["num_upper"],
+        payload["num_lower"],
+        [tuple(e) for e in payload["edges"]],
+    )
+    stats_data = payload.get("stats", {})
+    stats = DecompositionStats(
+        algorithm=stats_data.get("algorithm", ""),
+        updates=stats_data.get("updates", 0),
+        timings=stats_data.get("timings", {}),
+        iterations=stats_data.get("iterations", 0),
+    )
+    return BitrussDecomposition(graph, np.asarray(payload["phi"]), stats)

@@ -1,0 +1,147 @@
+"""Tip decomposition — the vertex-level sibling of the bitruss.
+
+The paper's baseline reference [5] (Sarıyüce & Pinar, WSDM 2018) introduces
+*two* butterfly-peeling hierarchies: the edge-level **wing** decomposition —
+the bitruss this library centres on — and the vertex-level **tip**
+decomposition.  The k-tip is the maximal subgraph in which every vertex of
+one chosen layer participates in at least k butterflies; the tip number
+θ(u) is the largest k whose k-tip contains u.
+
+Tip decomposition completes the [5] substrate and gives applications a
+cheaper, vertex-granularity alternative when edge-level resolution is not
+needed (e.g. ranking whole user accounts rather than individual
+interactions in the fraud scenario).
+
+The peeling follows the same bottom-up pattern as BiT-BS: repeatedly remove
+the chosen-layer vertex with the fewest butterflies, charging each same-layer
+neighbour ``C(common, 2)`` for their shared butterflies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.bucket_queue import BucketQueue
+
+
+def butterfly_counts_per_vertex(
+    graph: BipartiteGraph, layer: str = "upper"
+) -> np.ndarray:
+    """Number of butterflies containing each vertex of ``layer``.
+
+    A butterfly holds exactly two vertices of each layer, so the count for
+    ``u`` is ``Σ_{w ≠ u} C(|N(u) ∩ N(w)|, 2)`` over same-layer vertices
+    ``w`` — computed here by wedge grouping from each ``u``.
+    """
+    if layer not in ("upper", "lower"):
+        raise ValueError("layer must be 'upper' or 'lower'")
+    if layer == "upper":
+        n = graph.num_upper
+        neighbors = graph.neighbors_of_upper
+        other_neighbors = graph.neighbors_of_lower
+    else:
+        n = graph.num_lower
+        neighbors = graph.neighbors_of_lower
+        other_neighbors = graph.neighbors_of_upper
+    counts = np.zeros(n, dtype=np.int64)
+    for u in range(n):
+        common: Dict[int, int] = {}
+        for v in neighbors(u):
+            for w in other_neighbors(v):
+                if w != u:
+                    common[w] = common.get(w, 0) + 1
+        counts[u] = sum(c * (c - 1) // 2 for c in common.values())
+    return counts
+
+
+def tip_decomposition(
+    graph: BipartiteGraph, layer: str = "upper"
+) -> np.ndarray:
+    """Tip number θ(u) of every vertex in ``layer``.
+
+    Bottom-up peeling: the minimum-count vertex is assigned the current
+    level and removed; every same-layer vertex sharing butterflies with it
+    loses ``C(common, 2)``, guarded at the peel level exactly like the
+    bitruss peel.
+    """
+    if layer not in ("upper", "lower"):
+        raise ValueError("layer must be 'upper' or 'lower'")
+    counts = butterfly_counts_per_vertex(graph, layer)
+    n = len(counts)
+    theta = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return theta
+
+    if layer == "upper":
+        adj: List[Set[int]] = [
+            set(graph.neighbors_of_upper(u)) for u in range(graph.num_upper)
+        ]
+        other_adj: List[Set[int]] = [
+            set(graph.neighbors_of_lower(v)) for v in range(graph.num_lower)
+        ]
+    else:
+        adj = [set(graph.neighbors_of_lower(v)) for v in range(graph.num_lower)]
+        other_adj = [
+            set(graph.neighbors_of_upper(u)) for u in range(graph.num_upper)
+        ]
+
+    queue = BucketQueue.from_keys(counts)
+    level = 0
+    while not queue.is_empty():
+        u, count = queue.pop_min()
+        level = max(level, count)
+        theta[u] = level
+        # charge same-layer vertices for the butterflies they shared with u
+        common: Dict[int, int] = {}
+        for v in adj[u]:
+            for w in other_adj[v]:
+                if w != u and w in queue:
+                    common[w] = common.get(w, 0) + 1
+        for w, c in common.items():
+            shared = c * (c - 1) // 2
+            if shared and counts[w] > count:
+                counts[w] = max(count, int(counts[w]) - shared)
+                queue.update(w, int(counts[w]))
+        # remove u from the graph
+        for v in adj[u]:
+            other_adj[v].discard(u)
+        adj[u] = set()
+    return theta
+
+
+def k_tip_vertices(
+    graph: BipartiteGraph, k: int, layer: str = "upper"
+) -> Set[int]:
+    """Vertices of ``layer`` in the k-tip, by iterated filtering (oracle).
+
+    Independent of the peeling above (recounts from scratch each round);
+    used by the tests as the from-definition reference and by callers who
+    need a single level without a full decomposition.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    current = graph
+    if layer == "upper":
+        alive = set(range(graph.num_upper))
+    else:
+        alive = set(range(graph.num_lower))
+    if k == 0:
+        return alive
+    while alive:
+        counts = butterfly_counts_per_vertex(current, layer)
+        drop = {u for u in alive if counts[u] < k}
+        if not drop:
+            break
+        alive -= drop
+        if layer == "upper":
+            current = current.induced_subgraph(
+                alive, range(current.num_lower), relabel=False
+            )
+        else:
+            current = current.induced_subgraph(
+                range(current.num_upper), alive, relabel=False
+            )
+    return alive

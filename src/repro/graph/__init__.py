@@ -1,0 +1,25 @@
+"""Bipartite-graph substrate: core structure, IO, generators and sampling."""
+
+from repro.graph.bipartite import BipartiteGraph, LabelMap
+from repro.graph.generators import (
+    affiliation_bipartite,
+    chung_lu_bipartite,
+    erdos_renyi_bipartite,
+    nested_communities,
+    planted_bloom,
+)
+from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.sampling import sample_vertices
+
+__all__ = [
+    "BipartiteGraph",
+    "LabelMap",
+    "affiliation_bipartite",
+    "chung_lu_bipartite",
+    "erdos_renyi_bipartite",
+    "load_edge_list",
+    "nested_communities",
+    "planted_bloom",
+    "sample_vertices",
+    "save_edge_list",
+]

@@ -1,0 +1,352 @@
+"""The core bipartite-graph structure.
+
+Vertices live in two disjoint layers: *upper* vertices ``0 .. n_u - 1`` and
+*lower* vertices ``0 .. n_l - 1``, each in its own id space.  Edges connect an
+upper vertex to a lower vertex and carry dense integer ids ``0 .. m - 1``; all
+per-edge algorithm state (butterfly supports, bitruss numbers, queue keys) is
+stored in arrays indexed by edge id.
+
+Global ids
+----------
+Several algorithms (vertex-priority counting, BE-Index construction) iterate
+over *all* vertices regardless of layer.  The *global id* linearizes the two
+layers as::
+
+    gid(v in L) = v
+    gid(u in U) = n_l + u
+
+which also realizes the paper's convention that every upper-layer id is
+larger than every lower-layer id (used by the priority tie-break of
+Definition 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+class BipartiteGraph:
+    """An undirected bipartite graph with dense vertex and edge ids.
+
+    Parameters
+    ----------
+    num_upper, num_lower:
+        Sizes of the two vertex layers.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u < num_upper`` and
+        ``0 <= v < num_lower``.  Edge ids are assigned in iteration order.
+    dedup:
+        When ``True``, silently drop duplicate ``(u, v)`` pairs (bipartite
+        interaction data frequently repeats edges); when ``False``,
+        duplicates raise :class:`ValueError`.
+    """
+
+    def __init__(
+        self,
+        num_upper: int,
+        num_lower: int,
+        edges: Iterable[Edge] = (),
+        *,
+        dedup: bool = False,
+    ) -> None:
+        if num_upper < 0 or num_lower < 0:
+            raise ValueError("layer sizes must be non-negative")
+        self._n_u = int(num_upper)
+        self._n_l = int(num_lower)
+
+        edge_index: Dict[Edge, int] = {}
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < self._n_u):
+                raise ValueError(f"upper endpoint {u} out of range [0, {self._n_u})")
+            if not (0 <= v < self._n_l):
+                raise ValueError(f"lower endpoint {v} out of range [0, {self._n_l})")
+            if (u, v) in edge_index:
+                if dedup:
+                    continue
+                raise ValueError(f"duplicate edge ({u}, {v})")
+            edge_index[(u, v)] = len(edge_u)
+            edge_u.append(u)
+            edge_v.append(v)
+
+        self._edge_index = edge_index
+        self._edge_u = np.asarray(edge_u, dtype=np.int64)
+        self._edge_v = np.asarray(edge_v, dtype=np.int64)
+
+        self._adj_upper: List[List[int]] = [[] for _ in range(self._n_u)]
+        self._adj_lower: List[List[int]] = [[] for _ in range(self._n_l)]
+        # Parallel edge-id lists, so a neighbour scan also yields edge ids.
+        self._adj_upper_eids: List[List[int]] = [[] for _ in range(self._n_u)]
+        self._adj_lower_eids: List[List[int]] = [[] for _ in range(self._n_l)]
+        for eid in range(len(edge_u)):
+            u = edge_u[eid]
+            v = edge_v[eid]
+            self._adj_upper[u].append(v)
+            self._adj_upper_eids[u].append(eid)
+            self._adj_lower[v].append(u)
+            self._adj_lower_eids[v].append(eid)
+
+        self._gid_adj: Optional[List[List[int]]] = None
+        self._gid_adj_eids: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def num_upper(self) -> int:
+        """Number of upper-layer vertices ``|U|``."""
+        return self._n_u
+
+    @property
+    def num_lower(self) -> int:
+        """Number of lower-layer vertices ``|L|``."""
+        return self._n_l
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertex count ``|U| + |L|``."""
+        return self._n_u + self._n_l
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return self._edge_u.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(|U|={self._n_u}, |L|={self._n_l}, "
+            f"m={self.num_edges})"
+        )
+
+    # ----------------------------------------------------------------- edges
+
+    @property
+    def edge_upper(self) -> np.ndarray:
+        """Array of upper endpoints indexed by edge id."""
+        return self._edge_u
+
+    @property
+    def edge_lower(self) -> np.ndarray:
+        """Array of lower endpoints indexed by edge id."""
+        return self._edge_v
+
+    def edge_endpoints(self, eid: int) -> Edge:
+        """Return ``(u, v)`` for edge id ``eid``."""
+        return int(self._edge_u[eid]), int(self._edge_v[eid])
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the edge id of ``(u, v)``; raises ``KeyError`` if absent."""
+        return self._edge_index[(u, v)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the edge ``(u, v)`` exists."""
+        return (u, v) in self._edge_index
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(u, v)`` pairs in edge-id order."""
+        for eid in range(self.num_edges):
+            yield int(self._edge_u[eid]), int(self._edge_v[eid])
+
+    # ------------------------------------------------------------- adjacency
+
+    def neighbors_of_upper(self, u: int) -> List[int]:
+        """Lower-layer neighbours of upper vertex ``u``."""
+        return self._adj_upper[u]
+
+    def neighbors_of_lower(self, v: int) -> List[int]:
+        """Upper-layer neighbours of lower vertex ``v``."""
+        return self._adj_lower[v]
+
+    def edges_of_upper(self, u: int) -> List[int]:
+        """Edge ids incident to upper vertex ``u`` (parallel to neighbours)."""
+        return self._adj_upper_eids[u]
+
+    def edges_of_lower(self, v: int) -> List[int]:
+        """Edge ids incident to lower vertex ``v`` (parallel to neighbours)."""
+        return self._adj_lower_eids[v]
+
+    def degree_upper(self, u: int) -> int:
+        """Degree of upper vertex ``u``."""
+        return len(self._adj_upper[u])
+
+    def degree_lower(self, v: int) -> int:
+        """Degree of lower vertex ``v``."""
+        return len(self._adj_lower[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices indexed by global id."""
+        deg = np.zeros(self.num_vertices, dtype=np.int64)
+        for v in range(self._n_l):
+            deg[v] = len(self._adj_lower[v])
+        for u in range(self._n_u):
+            deg[self._n_l + u] = len(self._adj_upper[u])
+        return deg
+
+    # ------------------------------------------------------------ global ids
+
+    def gid_of_upper(self, u: int) -> int:
+        """Global id of upper vertex ``u``."""
+        return self._n_l + u
+
+    def gid_of_lower(self, v: int) -> int:
+        """Global id of lower vertex ``v``."""
+        return v
+
+    def is_upper_gid(self, gid: int) -> bool:
+        """Return ``True`` when ``gid`` denotes an upper-layer vertex."""
+        return gid >= self._n_l
+
+    def upper_of_gid(self, gid: int) -> int:
+        """Upper-layer id of a global id (caller must know the layer)."""
+        return gid - self._n_l
+
+    def adjacency_by_gid(self) -> Tuple[List[List[int]], List[List[int]]]:
+        """Return ``(adj, adj_eids)`` indexed by global vertex id.
+
+        ``adj[g]`` lists neighbour global ids of vertex ``g`` and
+        ``adj_eids[g]`` the parallel edge ids.  Built once and cached; the
+        wedge-processing algorithms are written against this view.
+        """
+        if self._gid_adj is None:
+            n_l = self._n_l
+            adj: List[List[int]] = [[] for _ in range(self.num_vertices)]
+            adj_eids: List[List[int]] = [[] for _ in range(self.num_vertices)]
+            for v in range(n_l):
+                adj[v] = [n_l + u for u in self._adj_lower[v]]
+                adj_eids[v] = list(self._adj_lower_eids[v])
+            for u in range(self._n_u):
+                adj[n_l + u] = list(self._adj_upper[u])
+                adj_eids[n_l + u] = list(self._adj_upper_eids[u])
+            self._gid_adj = adj
+            self._gid_adj_eids = adj_eids
+        assert self._gid_adj_eids is not None
+        return self._gid_adj, self._gid_adj_eids
+
+    # ------------------------------------------------------------- subgraphs
+
+    def subgraph_from_edge_ids(
+        self, edge_ids: Sequence[int]
+    ) -> Tuple["BipartiteGraph", np.ndarray]:
+        """Edge-induced subgraph, keeping the original vertex id spaces.
+
+        Returns ``(subgraph, orig_eids)`` where ``orig_eids[new_eid]`` maps a
+        subgraph edge id back to this graph's edge id.  Vertex ids are *not*
+        relabelled, so vertex-level results transfer directly; vertices
+        untouched by the edge subset simply become isolated.
+        """
+        edge_ids = np.asarray(sorted(set(int(e) for e in edge_ids)), dtype=np.int64)
+        pairs = [(int(self._edge_u[e]), int(self._edge_v[e])) for e in edge_ids]
+        sub = BipartiteGraph(self._n_u, self._n_l, pairs)
+        return sub, edge_ids
+
+    def induced_subgraph(
+        self,
+        upper_subset: Iterable[int],
+        lower_subset: Iterable[int],
+        *,
+        relabel: bool = True,
+    ) -> "BipartiteGraph":
+        """Vertex-induced subgraph (used by the Fig. 12 sampling experiment).
+
+        When ``relabel`` is true (default) the kept vertices are renumbered
+        densely in ascending order of their original id.
+        """
+        upper_set = set(int(u) for u in upper_subset)
+        lower_set = set(int(v) for v in lower_subset)
+        kept = [
+            (u, v)
+            for u, v in self.edges()
+            if u in upper_set and v in lower_set
+        ]
+        if not relabel:
+            return BipartiteGraph(self._n_u, self._n_l, kept)
+        upper_map = {u: i for i, u in enumerate(sorted(upper_set))}
+        lower_map = {v: i for i, v in enumerate(sorted(lower_set))}
+        relabelled = [(upper_map[u], lower_map[v]) for u, v in kept]
+        return BipartiteGraph(len(upper_map), len(lower_map), relabelled)
+
+    # -------------------------------------------------------------- exports
+
+    def to_edge_list(self) -> List[Edge]:
+        """Return the edges as a list of ``(u, v)`` pairs."""
+        return list(self.edges())
+
+    def copy(self) -> "BipartiteGraph":
+        """Return a structural copy (fresh adjacency, same edge ids)."""
+        return BipartiteGraph(self._n_u, self._n_l, self.edges())
+
+    def validate(self) -> None:
+        """Internal-consistency check used by tests and IO round-trips."""
+        if len(self._edge_index) != self.num_edges:
+            raise AssertionError("edge index size mismatch")
+        for eid, (u, v) in enumerate(self.edges()):
+            if self._edge_index[(u, v)] != eid:
+                raise AssertionError(f"edge index broken at {eid}")
+        deg_sum_u = sum(len(a) for a in self._adj_upper)
+        deg_sum_l = sum(len(a) for a in self._adj_lower)
+        if deg_sum_u != self.num_edges or deg_sum_l != self.num_edges:
+            raise AssertionError("adjacency/edge count mismatch")
+
+
+class LabelMap:
+    """A bidirectional mapping between external labels and dense ids.
+
+    Used by IO and the application modules so that user-facing code can work
+    with author names, page urls, product SKUs, etc. while the algorithms see
+    dense integers.
+    """
+
+    def __init__(self) -> None:
+        self._to_id: Dict[Hashable, int] = {}
+        self._to_label: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._to_label)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._to_id
+
+    def intern(self, label: Hashable) -> int:
+        """Return the id of ``label``, assigning the next id if new."""
+        existing = self._to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_label)
+        self._to_id[label] = new_id
+        self._to_label.append(label)
+        return new_id
+
+    def id_of(self, label: Hashable) -> int:
+        """Return the id of a known ``label`` (``KeyError`` if unknown)."""
+        return self._to_id[label]
+
+    def label_of(self, idx: int) -> Hashable:
+        """Return the label stored at ``idx``."""
+        return self._to_label[idx]
+
+    def labels(self) -> List[Hashable]:
+        """All labels in id order."""
+        return list(self._to_label)
+
+
+def build_labeled_graph(
+    pairs: Iterable[Tuple[Hashable, Hashable]],
+    *,
+    dedup: bool = True,
+) -> Tuple[BipartiteGraph, LabelMap, LabelMap]:
+    """Build a graph from labelled pairs, returning both label maps.
+
+    ``pairs`` yields ``(upper_label, lower_label)``.  Duplicate interactions
+    are dropped by default (``dedup=True``).
+    """
+    upper = LabelMap()
+    lower = LabelMap()
+    edges = [(upper.intern(a), lower.intern(b)) for a, b in pairs]
+    graph = BipartiteGraph(len(upper), len(lower), edges, dedup=dedup)
+    return graph, upper, lower

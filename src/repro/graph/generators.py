@@ -1,0 +1,402 @@
+"""Synthetic bipartite-graph generators.
+
+The paper evaluates on 15 KONECT datasets that we cannot download in this
+offline environment, so :mod:`repro.datasets` builds named stand-ins on top of
+the generators here.  Two properties of the real datasets drive the paper's
+results, and the generators are designed to reproduce both:
+
+* **skewed (power-law) degree distributions** — the source of *hub edges*
+  whose butterfly support vastly exceeds their bitruss number (§V-C);
+  :func:`chung_lu_bipartite` provides this.
+* **dense nested blocks** — the source of non-trivial bitruss hierarchies;
+  :func:`nested_communities` and :func:`affiliation_bipartite` provide this.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi_bipartite(
+    num_upper: int,
+    num_lower: int,
+    num_edges: int,
+    *,
+    seed: Optional[int] = None,
+) -> BipartiteGraph:
+    """G(n_u, n_l, m): ``num_edges`` distinct edges drawn uniformly."""
+    total = num_upper * num_lower
+    if num_edges > total:
+        raise ValueError(f"cannot place {num_edges} edges in a {num_upper}x{num_lower} grid")
+    rng = _rng(seed)
+    if total <= 4_000_000:
+        flat = rng.choice(total, size=num_edges, replace=False)
+        edges = [(int(f) // num_lower, int(f) % num_lower) for f in flat]
+    else:
+        chosen: Set[Tuple[int, int]] = set()
+        while len(chosen) < num_edges:
+            u = int(rng.integers(num_upper))
+            v = int(rng.integers(num_lower))
+            chosen.add((u, v))
+        edges = sorted(chosen)
+    return BipartiteGraph(num_upper, num_lower, edges)
+
+
+def power_law_weights(
+    n: int,
+    exponent: float,
+    *,
+    rng: np.random.Generator,
+    min_weight: float = 1.0,
+    max_weight: Optional[float] = None,
+) -> np.ndarray:
+    """Draw ``n`` Pareto-distributed expected-degree weights.
+
+    ``max_weight`` clips the tail so that extremely heavy distributions
+    (exponent close to 1) cannot concentrate almost all edge probability on
+    one vertex, which would stall distinct-edge rejection sampling.
+    """
+    if exponent <= 1.0:
+        raise ValueError("power-law exponent must exceed 1")
+    # Inverse-CDF sampling of a Pareto(alpha = exponent - 1) distribution.
+    uniform = rng.random(n)
+    weights = min_weight * (1.0 - uniform) ** (-1.0 / (exponent - 1.0))
+    if max_weight is not None:
+        np.clip(weights, None, max_weight, out=weights)
+    return weights
+
+
+def chung_lu_bipartite(
+    num_upper: int,
+    num_lower: int,
+    num_edges: int,
+    *,
+    exponent_upper: float = 2.2,
+    exponent_lower: float = 2.2,
+    seed: Optional[int] = None,
+    max_tries_factor: int = 30,
+    max_weight_fraction: float = 0.35,
+) -> BipartiteGraph:
+    """A bipartite Chung–Lu model with power-law expected degrees.
+
+    Endpoints of each edge are drawn independently with probability
+    proportional to per-vertex Pareto weights, then duplicates are rejected.
+    Smaller exponents give heavier tails (more skew, stronger hub edges);
+    per-layer weights are clipped so no vertex exceeds
+    ``max_weight_fraction`` of its layer's opposite-side slots, keeping
+    rejection sampling effective.
+    """
+    rng = _rng(seed)
+    w_u = power_law_weights(
+        num_upper,
+        exponent_upper,
+        rng=rng,
+        max_weight=max(1.0, max_weight_fraction * num_lower),
+    )
+    w_l = power_law_weights(
+        num_lower,
+        exponent_lower,
+        rng=rng,
+        max_weight=max(1.0, max_weight_fraction * num_upper),
+    )
+    p_u = w_u / w_u.sum()
+    p_l = w_l / w_l.sum()
+
+    chosen: Set[Tuple[int, int]] = set()
+    budget = max_tries_factor * num_edges
+    batch = max(1024, num_edges)
+    while len(chosen) < num_edges and budget > 0:
+        take = min(batch, budget)
+        us = rng.choice(num_upper, size=take, p=p_u)
+        vs = rng.choice(num_lower, size=take, p=p_l)
+        for u, v in zip(us, vs):
+            chosen.add((int(u), int(v)))
+            if len(chosen) >= num_edges:
+                break
+        budget -= take
+    if len(chosen) < num_edges:
+        raise RuntimeError(
+            "chung_lu_bipartite could not place the requested number of "
+            "distinct edges; lower num_edges or raise max_tries_factor"
+        )
+    return BipartiteGraph(num_upper, num_lower, sorted(chosen))
+
+
+def complete_biclique(num_upper: int, num_lower: int) -> BipartiteGraph:
+    """The complete bipartite graph ``K_{num_upper, num_lower}``."""
+    edges = [(u, v) for u in range(num_upper) for v in range(num_lower)]
+    return BipartiteGraph(num_upper, num_lower, edges)
+
+
+def planted_bloom(k: int) -> BipartiteGraph:
+    """A single ``k``-bloom, i.e. the (2, k)-biclique of the paper's Fig. 3.
+
+    Contains exactly ``k * (k - 1) / 2`` butterflies (Lemma 1); every edge has
+    butterfly support ``k - 1`` (Lemma 2).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    return complete_biclique(2, k)
+
+
+def nested_communities(
+    blocks: Sequence[Tuple[int, ...]],
+    *,
+    noise_edges: int = 0,
+    num_extra_upper: int = 0,
+    num_extra_lower: int = 0,
+    seed: Optional[int] = None,
+) -> BipartiteGraph:
+    """Concentric blocks of increasing density: a direct bitruss hierarchy.
+
+    ``blocks`` lists ``(a_i, b_i)`` or ``(a_i, b_i, p_i)`` with
+    non-increasing sizes; block ``i`` spans ``{0..a_i-1} x {0..b_i-1}`` and
+    each of its pairs is present with probability ``p_i`` (default 1.0).
+    Outer blocks should be *sparser* than inner ones — otherwise the outer
+    block's own cohesion swamps the nesting — so a typical call looks like
+    ``nested_communities([(30, 40, 0.25), (12, 16, 0.6), (5, 7, 1.0)])``.
+    Inner blocks then receive strictly larger bitruss numbers: the "nested
+    research groups" structure of the paper's introduction.  Optional
+    uniform noise edges and extra fringe vertices surround the hierarchy.
+    """
+    if not blocks:
+        raise ValueError("at least one block is required")
+    sizes = [(b[0], b[1], b[2] if len(b) > 2 else 1.0) for b in blocks]
+    for (a1, b1, _), (a2, b2, __) in zip(sizes, sizes[1:]):
+        if a2 > a1 or b2 > b1:
+            raise ValueError("block sizes must be non-increasing (nested)")
+    n_u = sizes[0][0] + num_extra_upper
+    n_l = sizes[0][1] + num_extra_lower
+    rng = _rng(seed)
+    chosen: Set[Tuple[int, int]] = set()
+    for a, b, p in sizes:
+        for u in range(a):
+            for v in range(b):
+                if p >= 1.0 or rng.random() < p:
+                    chosen.add((u, v))
+    tries = 0
+    placed = 0
+    while placed < noise_edges and tries < 50 * max(noise_edges, 1):
+        u = int(rng.integers(n_u))
+        v = int(rng.integers(n_l))
+        tries += 1
+        if (u, v) not in chosen:
+            chosen.add((u, v))
+            placed += 1
+    return BipartiteGraph(n_u, n_l, sorted(chosen))
+
+
+def affiliation_bipartite(
+    num_upper: int,
+    num_lower: int,
+    num_communities: int,
+    *,
+    community_upper: int,
+    community_lower: int,
+    p_in: float = 0.6,
+    noise_edges: int = 0,
+    seed: Optional[int] = None,
+) -> BipartiteGraph:
+    """A community-affiliation model (user-product / author-venue style).
+
+    Each of ``num_communities`` communities draws ``community_upper`` upper
+    and ``community_lower`` lower members uniformly; member pairs are linked
+    with probability ``p_in``.  Communities overlap by chance, producing a
+    realistic mix of dense cores (high bitruss) and cross ties, plus optional
+    uniform noise.
+    """
+    rng = _rng(seed)
+    chosen: Set[Tuple[int, int]] = set()
+    for _ in range(num_communities):
+        members_u = rng.choice(num_upper, size=min(community_upper, num_upper), replace=False)
+        members_l = rng.choice(num_lower, size=min(community_lower, num_lower), replace=False)
+        for u in members_u:
+            for v in members_l:
+                if rng.random() < p_in:
+                    chosen.add((int(u), int(v)))
+    tries = 0
+    placed = 0
+    while placed < noise_edges and tries < 50 * max(noise_edges, 1):
+        u = int(rng.integers(num_upper))
+        v = int(rng.integers(num_lower))
+        tries += 1
+        if (u, v) not in chosen:
+            chosen.add((u, v))
+            placed += 1
+    return BipartiteGraph(num_upper, num_lower, sorted(chosen))
+
+
+def union_graphs(
+    num_upper: int,
+    num_lower: int,
+    parts: Iterable[Iterable[Tuple[int, int]]],
+) -> BipartiteGraph:
+    """Union several edge collections into one graph (dedup applied)."""
+    merged: Set[Tuple[int, int]] = set()
+    for part in parts:
+        merged.update((int(u), int(v)) for u, v in part)
+    return BipartiteGraph(num_upper, num_lower, sorted(merged))
+
+
+def paper_figure1_graph() -> BipartiteGraph:
+    """The author-paper network of the paper's Figure 1 (4 x 5 vertices).
+
+    Edge colours in the paper: blue edges have bitruss number 2, yellow 1,
+    gray 0 — handy as a known-answer test.
+    """
+    edges = [
+        (0, 0), (0, 1),
+        (1, 0), (1, 1),
+        (2, 0), (2, 1), (2, 2), (2, 3),
+        (3, 1), (3, 2), (3, 4),
+    ]
+    return BipartiteGraph(4, 5, edges)
+
+
+def paper_figure4_graph() -> BipartiteGraph:
+    """The running example of the paper's Figure 4(a) (4 x 5 vertices).
+
+    Its BE-Index (Figure 6) has two blooms: ``B0*`` (a 3-bloom on
+    ``{u0,u1,u2} x {v0,v1}``) and ``B1*`` (a 2-bloom on ``{u2,u3} x {v1,v2}``).
+    Edges e0..e5 have bitruss number 2, e6..e8 have 1, and the two pendant
+    edges have 0.
+    """
+    edges = [
+        (0, 0),  # e0
+        (0, 1),  # e1
+        (1, 0),  # e2
+        (1, 1),  # e3
+        (2, 0),  # e4
+        (2, 1),  # e5
+        (2, 2),  # e6
+        (3, 1),  # e7
+        (3, 2),  # e8
+        (2, 3),  # pendant
+        (3, 4),  # pendant
+    ]
+    return BipartiteGraph(4, 5, edges)
+
+
+def hub_edge_example(fan: int = 1000) -> BipartiteGraph:
+    """The paper's Figure 2(a) construction scaled by ``fan``.
+
+    ``u0`` links ``v0, v1``; ``u1`` links ``v0..v_fan`` and ``v1`` links
+    ``u0..u_fan``; ``u2``/``v2`` fan out to a second block.  Removing
+    ``(u1, v1)`` affects exactly one butterfly but combination-based methods
+    pay ``fan^2`` checks — the motivating example for the BE-Index.
+    """
+    edges: List[Tuple[int, int]] = [(0, 0), (0, 1)]
+    for v in range(fan + 1):
+        edges.append((1, v))
+    for u in range(2, fan + 1):
+        edges.append((u, 1))
+    second_lo = fan + 1
+    second_hi = 2 * fan
+    for v in range(second_lo, second_hi + 1):
+        edges.append((2, v))
+    num_lower = 2 * fan + 1
+    num_upper = fan + 1
+    seen = set()
+    deduped = []
+    for u, v in edges:
+        if (u, v) not in seen:
+            seen.add((u, v))
+            deduped.append((u, v))
+    return BipartiteGraph(num_upper, num_lower, deduped)
+
+
+def configuration_model_bipartite(
+    upper_degrees: Sequence[int],
+    lower_degrees: Sequence[int],
+    *,
+    seed: Optional[int] = None,
+    max_rewire_rounds: int = 50,
+) -> BipartiteGraph:
+    """A bipartite configuration model with (near-)exact degree sequences.
+
+    Both sequences must sum to the same total.  Stubs are matched by a
+    random shuffle; duplicate pairings are then repaired by rewiring rounds
+    (swap the lower endpoints of two conflicting stubs).  If duplicates
+    survive ``max_rewire_rounds``, the leftovers are dropped, so degrees are
+    exact except possibly for a handful of heavy vertices — the standard
+    simple-graph configuration-model compromise.
+    """
+    upper_degrees = list(int(d) for d in upper_degrees)
+    lower_degrees = list(int(d) for d in lower_degrees)
+    if sum(upper_degrees) != sum(lower_degrees):
+        raise ValueError("degree sequences must have equal sums")
+    if any(d < 0 for d in upper_degrees + lower_degrees):
+        raise ValueError("degrees must be non-negative")
+    rng = _rng(seed)
+    stubs_u = np.repeat(np.arange(len(upper_degrees)), upper_degrees)
+    stubs_l = np.repeat(np.arange(len(lower_degrees)), lower_degrees)
+    rng.shuffle(stubs_l)
+
+    pairs = list(zip(stubs_u.tolist(), stubs_l.tolist()))
+    for _ in range(max_rewire_rounds):
+        seen: Set[Tuple[int, int]] = set()
+        duplicates: List[int] = []
+        for idx, pair in enumerate(pairs):
+            if pair in seen:
+                duplicates.append(idx)
+            else:
+                seen.add(pair)
+        if not duplicates:
+            break
+        # swap each duplicate's lower endpoint with a random other stub
+        for idx in duplicates:
+            other = int(rng.integers(len(pairs)))
+            u1, v1 = pairs[idx]
+            u2, v2 = pairs[other]
+            pairs[idx] = (u1, v2)
+            pairs[other] = (u2, v1)
+    unique = sorted(set(pairs))
+    return BipartiteGraph(len(upper_degrees), len(lower_degrees), unique)
+
+
+def stochastic_block_model_bipartite(
+    upper_blocks: Sequence[int],
+    lower_blocks: Sequence[int],
+    probabilities: Sequence[Sequence[float]],
+    *,
+    seed: Optional[int] = None,
+) -> BipartiteGraph:
+    """A bipartite stochastic block model.
+
+    ``upper_blocks`` / ``lower_blocks`` give block sizes per layer;
+    ``probabilities[i][j]`` is the edge probability between upper block i
+    and lower block j.  Diagonal-heavy probability matrices produce planted
+    communities with graded bitruss levels.
+    """
+    if len(probabilities) != len(upper_blocks):
+        raise ValueError("probabilities needs one row per upper block")
+    for row in probabilities:
+        if len(row) != len(lower_blocks):
+            raise ValueError("probabilities needs one column per lower block")
+        if any(not (0.0 <= p <= 1.0) for p in row):
+            raise ValueError("probabilities must lie in [0, 1]")
+    rng = _rng(seed)
+    upper_offsets = np.concatenate([[0], np.cumsum(upper_blocks)])
+    lower_offsets = np.concatenate([[0], np.cumsum(lower_blocks)])
+    edges: List[Tuple[int, int]] = []
+    for i, a in enumerate(upper_blocks):
+        for j, b in enumerate(lower_blocks):
+            p = probabilities[i][j]
+            if p <= 0.0 or a == 0 or b == 0:
+                continue
+            block = rng.random((a, b)) < p
+            us, vs = np.nonzero(block)
+            base_u = int(upper_offsets[i])
+            base_v = int(lower_offsets[j])
+            edges.extend((base_u + int(u), base_v + int(v)) for u, v in zip(us, vs))
+    return BipartiteGraph(int(upper_offsets[-1]), int(lower_offsets[-1]), sorted(edges))

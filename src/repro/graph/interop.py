@@ -1,0 +1,109 @@
+"""Interoperability with the scientific-Python ecosystem.
+
+Conversions between :class:`~repro.graph.bipartite.BipartiteGraph` and
+
+* **networkx** bipartite graphs (nodes carry the conventional
+  ``bipartite=0/1`` attribute; upper vertices are labelled ``("u", i)`` and
+  lower vertices ``("l", j)`` to keep the layers unambiguous),
+* dense **biadjacency matrices** (numpy), and
+* sparse biadjacency matrices (**scipy.sparse**).
+
+These let downstream users feed interaction data they already hold in other
+libraries straight into the decomposition algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+
+def to_biadjacency(graph: BipartiteGraph) -> np.ndarray:
+    """Dense 0/1 biadjacency matrix, rows = upper layer."""
+    matrix = np.zeros((graph.num_upper, graph.num_lower), dtype=np.int8)
+    for u, v in graph.edges():
+        matrix[u, v] = 1
+    return matrix
+
+
+def from_biadjacency(matrix: np.ndarray) -> BipartiteGraph:
+    """Graph from a dense biadjacency matrix (non-zero entries = edges)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("biadjacency matrix must be 2-dimensional")
+    rows, cols = np.nonzero(matrix)
+    edges = list(zip(rows.tolist(), cols.tolist()))
+    return BipartiteGraph(matrix.shape[0], matrix.shape[1], edges)
+
+
+def to_scipy_sparse(graph: BipartiteGraph):
+    """Sparse CSR biadjacency matrix (requires scipy)."""
+    from scipy import sparse
+
+    data = np.ones(graph.num_edges, dtype=np.int8)
+    return sparse.csr_matrix(
+        (data, (graph.edge_upper, graph.edge_lower)),
+        shape=(graph.num_upper, graph.num_lower),
+    )
+
+
+def from_scipy_sparse(matrix) -> BipartiteGraph:
+    """Graph from any scipy sparse biadjacency matrix."""
+    coo = matrix.tocoo()
+    edges = sorted(set(zip(coo.row.tolist(), coo.col.tolist())))
+    return BipartiteGraph(matrix.shape[0], matrix.shape[1], edges)
+
+
+def to_networkx(graph: BipartiteGraph):
+    """networkx.Graph with ``bipartite`` node attributes.
+
+    Upper vertex ``i`` becomes node ``("u", i)`` with ``bipartite=0``; lower
+    vertex ``j`` becomes ``("l", j)`` with ``bipartite=1``.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from((("u", i) for i in range(graph.num_upper)), bipartite=0)
+    g.add_nodes_from((("l", j) for j in range(graph.num_lower)), bipartite=1)
+    g.add_edges_from((("u", u), ("l", v)) for u, v in graph.edges())
+    return g
+
+
+def from_networkx(nx_graph) -> Tuple[BipartiteGraph, dict, dict]:
+    """Graph from a networkx bipartite graph.
+
+    Layers are read from the ``bipartite`` node attribute (0 = upper,
+    1 = lower).  Returns ``(graph, upper_map, lower_map)`` where the maps
+    translate original node labels to dense layer ids.
+
+    Raises
+    ------
+    ValueError
+        If any node lacks the ``bipartite`` attribute or an edge connects
+        two nodes of the same layer.
+    """
+    uppers = []
+    lowers = []
+    for node, data in nx_graph.nodes(data=True):
+        side = data.get("bipartite")
+        if side == 0:
+            uppers.append(node)
+        elif side == 1:
+            lowers.append(node)
+        else:
+            raise ValueError(f"node {node!r} lacks a 0/1 'bipartite' attribute")
+    upper_map = {node: i for i, node in enumerate(sorted(uppers, key=repr))}
+    lower_map = {node: j for j, node in enumerate(sorted(lowers, key=repr))}
+    edges = []
+    for a, b in nx_graph.edges():
+        if a in upper_map and b in lower_map:
+            edges.append((upper_map[a], lower_map[b]))
+        elif b in upper_map and a in lower_map:
+            edges.append((upper_map[b], lower_map[a]))
+        else:
+            raise ValueError(f"edge ({a!r}, {b!r}) is not between the two layers")
+    graph = BipartiteGraph(len(upper_map), len(lower_map), sorted(set(edges)))
+    return graph, upper_map, lower_map

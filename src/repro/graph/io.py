@@ -1,0 +1,165 @@
+"""Edge-list IO in the KONECT style.
+
+The paper's datasets all come from KONECT, whose bipartite network files are
+whitespace-separated edge lists with optional ``%`` comment lines::
+
+    % bip unweighted
+    1 1
+    1 2
+    2 1
+
+KONECT ids are 1-based per layer; this module accepts both 0- and 1-based
+files via ``base`` and writes 0-based files by default.  Gzip-compressed
+files are handled transparently by extension.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterator, List, Tuple, Union
+
+from repro.graph.bipartite import BipartiteGraph
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_lines(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Yield raw ``(u, v)`` integer pairs, skipping comments and blanks."""
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("%", "#")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: expected two columns, got {stripped!r}")
+            try:
+                u = int(parts[0])
+                v = int(parts[1])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: non-integer endpoint in {stripped!r}") from exc
+            yield u, v
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    base: int = 0,
+    dedup: bool = True,
+) -> BipartiteGraph:
+    """Load a bipartite edge list.
+
+    Parameters
+    ----------
+    path:
+        Text or ``.gz`` file of ``u v`` pairs; ``%``/``#`` lines are comments.
+    base:
+        Id base of the file (KONECT uses 1).
+    dedup:
+        Drop repeated interactions instead of raising (KONECT interaction
+        data often contains duplicates).
+    """
+    pairs: List[Tuple[int, int]] = []
+    max_u = -1
+    max_v = -1
+    for raw_u, raw_v in iter_edge_lines(path):
+        u = raw_u - base
+        v = raw_v - base
+        if u < 0 or v < 0:
+            raise ValueError(
+                f"{path}: negative id after subtracting base={base}; "
+                "check the file's id base"
+            )
+        pairs.append((u, v))
+        max_u = max(max_u, u)
+        max_v = max(max_v, v)
+    return BipartiteGraph(max_u + 1, max_v + 1, pairs, dedup=dedup)
+
+
+def save_edge_list(
+    graph: BipartiteGraph,
+    path: PathLike,
+    *,
+    base: int = 0,
+    header: str = "bip unweighted",
+) -> None:
+    """Write ``graph`` as a KONECT-style edge list."""
+    with _open_text(path, "w") as handle:
+        if header:
+            handle.write(f"% {header}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u + base} {v + base}\n")
+
+
+def load_phi(path: PathLike) -> List[int]:
+    """Load bitruss numbers written by :func:`save_phi` (one int per line)."""
+    values: List[int] = []
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("%", "#")):
+                continue
+            values.append(int(stripped))
+    return values
+
+
+def save_phi(phi, path: PathLike) -> None:
+    """Write bitruss numbers, one per line, in edge-id order."""
+    with _open_text(path, "w") as handle:
+        handle.write("% bitruss number per edge id\n")
+        for value in phi:
+            handle.write(f"{int(value)}\n")
+
+
+def load_matrix_market(path: PathLike, *, dedup: bool = True) -> BipartiteGraph:
+    """Load a bipartite graph from a Matrix Market coordinate file.
+
+    Accepts ``matrix coordinate (pattern|integer|real) general`` headers;
+    any non-zero stored entry becomes an edge (rows = upper layer).  Ids in
+    the body are 1-based per the format.
+    """
+    with _open_text(path, "r") as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: missing %%MatrixMarket header")
+        fields = header.split()
+        if len(fields) < 5 or fields[1] != "matrix" or fields[2] != "coordinate":
+            raise ValueError(f"{path}: only coordinate matrices are supported")
+        value_type = fields[3]
+        if value_type not in ("pattern", "integer", "real"):
+            raise ValueError(f"{path}: unsupported value type {value_type!r}")
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        rows, cols, _nnz = (int(x) for x in line.split()[:3])
+        pairs: List[Tuple[int, int]] = []
+        for raw in handle:
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            parts = stripped.split()
+            u = int(parts[0]) - 1
+            v = int(parts[1]) - 1
+            if value_type != "pattern" and float(parts[2]) == 0.0:
+                continue
+            pairs.append((u, v))
+    return BipartiteGraph(rows, cols, pairs, dedup=dedup)
+
+
+def save_matrix_market(graph: BipartiteGraph, path: PathLike) -> None:
+    """Write ``graph`` as a Matrix Market pattern matrix (rows = upper)."""
+    with _open_text(path, "w") as handle:
+        handle.write("%%MatrixMarket matrix coordinate pattern general\n")
+        handle.write(
+            f"{graph.num_upper} {graph.num_lower} {graph.num_edges}\n"
+        )
+        for u, v in graph.edges():
+            handle.write(f"{u + 1} {v + 1}\n")

@@ -1,0 +1,5 @@
+"""The BE-Index (Bloom-Edge-Index) of Section IV, plus its compressed form."""
+
+from repro.index.be_index import BEIndex, Bloom
+
+__all__ = ["BEIndex", "Bloom"]

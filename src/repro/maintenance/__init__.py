@@ -1,0 +1,5 @@
+"""Dynamic-graph support: incremental butterfly-support maintenance."""
+
+from repro.maintenance.dynamic import DynamicBipartiteGraph
+
+__all__ = ["DynamicBipartiteGraph"]

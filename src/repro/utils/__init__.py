@@ -1,0 +1,13 @@
+"""Shared utilities: vertex priorities, peeling queues and instrumentation."""
+
+from repro.utils.bucket_queue import BucketQueue
+from repro.utils.priority import vertex_priorities
+from repro.utils.stats import IndexSizeModel, PhaseTimer, UpdateCounter
+
+__all__ = [
+    "BucketQueue",
+    "IndexSizeModel",
+    "PhaseTimer",
+    "UpdateCounter",
+    "vertex_priorities",
+]

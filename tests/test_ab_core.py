@@ -1,0 +1,131 @@
+"""(α, β)-core computation and the degree-based bitruss prefilter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.butterfly.counting import count_per_edge
+from repro.cohesion.ab_core import (
+    ab_core_decomposition_for_alpha,
+    alpha_beta_core,
+    degree_prefilter_for_bitruss,
+)
+from repro.core import bit_bu_plus_plus, k_bitruss_direct
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_biclique, erdos_renyi_bipartite
+from tests.conftest import bipartite_graphs
+
+
+class TestAlphaBetaCore:
+    def test_complete_biclique_core(self):
+        g = complete_biclique(3, 4)
+        uppers, lowers = alpha_beta_core(g, 4, 3)
+        assert uppers == {0, 1, 2}
+        assert lowers == {0, 1, 2, 3}
+
+    def test_core_does_not_exist(self):
+        g = complete_biclique(3, 4)
+        uppers, lowers = alpha_beta_core(g, 5, 1)
+        assert uppers == set() and lowers == set()
+
+    def test_figure4_core(self, figure4):
+        # (2,2)-core: drop the pendants, then v2's degree is 2 and all of
+        # u0..u3, v0..v2 survive
+        uppers, lowers = alpha_beta_core(figure4, 2, 2)
+        assert uppers == {0, 1, 2, 3}
+        assert lowers == {0, 1, 2}
+
+    def test_invariant_degrees(self, medium_random):
+        uppers, lowers = alpha_beta_core(medium_random, 3, 4)
+        if not uppers:
+            return
+        for u in uppers:
+            inside = sum(
+                1 for v in medium_random.neighbors_of_upper(u) if v in lowers
+            )
+            assert inside >= 3
+        for v in lowers:
+            inside = sum(
+                1 for u in medium_random.neighbors_of_lower(v) if u in uppers
+            )
+            assert inside >= 4
+
+    def test_zero_zero_core_is_everything(self, medium_random):
+        uppers, lowers = alpha_beta_core(medium_random, 0, 0)
+        assert len(uppers) == medium_random.num_upper
+        assert len(lowers) == medium_random.num_lower
+
+    def test_negative_parameters(self, figure4):
+        with pytest.raises(ValueError):
+            alpha_beta_core(figure4, -1, 0)
+
+    def test_monotone_in_alpha(self, medium_random):
+        prev_u = None
+        for alpha in range(1, 5):
+            uppers, _lowers = alpha_beta_core(medium_random, alpha, 2)
+            if prev_u is not None:
+                assert uppers <= prev_u
+            prev_u = uppers
+
+
+class TestDecompositionForAlpha:
+    def test_max_beta_values(self):
+        g = complete_biclique(3, 4)
+        betas = ab_core_decomposition_for_alpha(g, 2)
+        # every lower vertex survives down to beta = 3 (its degree)
+        assert betas.tolist() == [3, 3, 3, 3]
+
+    def test_isolated_lower_vertex(self):
+        g = BipartiteGraph(2, 3, [(0, 0), (1, 0), (0, 1), (1, 1)])
+        betas = ab_core_decomposition_for_alpha(g, 1)
+        assert betas[2] == 0
+        assert betas[0] == 2 and betas[1] == 2
+
+
+class TestPrefilter:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_prefilter_preserves_k_bitruss(self, k):
+        g = erdos_renyi_bipartite(14, 14, 90, seed=k)
+        sub, eids = degree_prefilter_for_bitruss(g, k)
+        bitruss = set(k_bitruss_direct(g, k))
+        assert bitruss <= set(int(e) for e in eids)
+
+    def test_prefilter_drops_pendants(self, figure4):
+        sub, eids = degree_prefilter_for_bitruss(figure4, 1)
+        assert figure4.edge_id(2, 3) not in set(eids.tolist())
+        assert figure4.edge_id(3, 4) not in set(eids.tolist())
+
+    def test_prefilter_k0_identity(self, figure4):
+        sub, eids = degree_prefilter_for_bitruss(figure4, 0)
+        assert len(eids) == figure4.num_edges
+
+    def test_prefilter_negative_k(self, figure4):
+        with pytest.raises(ValueError):
+            degree_prefilter_for_bitruss(figure4, -1)
+
+    def test_prefiltered_decomposition_matches(self):
+        # decomposing the prefiltered graph reproduces the deep levels
+        g = erdos_renyi_bipartite(12, 12, 70, seed=9)
+        full = bit_bu_plus_plus(g).phi
+        k = 2
+        sub, eids = degree_prefilter_for_bitruss(g, k)
+        if sub.num_edges == 0:
+            assert not np.any(full >= k)
+            return
+        sub_phi = bit_bu_plus_plus(sub).phi
+        for sub_eid, orig_eid in enumerate(eids):
+            if full[orig_eid] >= k:
+                assert sub_phi[sub_eid] == full[orig_eid]
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite_graphs())
+def test_prefilter_containment_property(graph):
+    """For every k, the degree prefilter keeps the whole k-bitruss."""
+    support = count_per_edge(graph)
+    if not len(support):
+        return
+    k = max(1, int(support.max()) // 2)
+    _sub, eids = degree_prefilter_for_bitruss(graph, k)
+    bitruss = set(k_bitruss_direct(graph, k))
+    assert bitruss <= set(int(e) for e in eids)

@@ -1,0 +1,86 @@
+"""Graph/decomposition analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    hub_edge_report,
+    phi_distribution,
+    profile_graph,
+    recommend_algorithm,
+)
+from repro.core import bit_bu_plus_plus
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    complete_biclique,
+    erdos_renyi_bipartite,
+)
+
+
+class TestProfile:
+    def test_complete_biclique(self):
+        p = profile_graph(complete_biclique(3, 4))
+        assert p.num_edges == 12
+        assert p.max_degree_upper == 4 and p.mean_degree_upper == 4.0
+        assert p.butterflies == 18
+        assert p.support_max == 6
+
+    def test_empty(self):
+        p = profile_graph(BipartiteGraph(0, 0))
+        assert p.num_edges == 0 and p.butterflies == 0
+
+    def test_skew_indicator(self):
+        g = chung_lu_bipartite(400, 400, 2000, exponent_upper=1.8,
+                               exponent_lower=1.8, seed=1)
+        p = profile_graph(g)
+        assert p.degree_skew_upper > 3.0
+
+
+class TestHubReport:
+    def test_gap_on_skewed_graph(self):
+        g = chung_lu_bipartite(400, 25, 1500, exponent_upper=2.5,
+                               exponent_lower=1.7, seed=2)
+        result = bit_bu_plus_plus(g)
+        report = hub_edge_report(g, result, top_n=5)
+        assert report.support_max >= report.phi_max
+        assert len(report.hub_edges) == 5
+        # list is ordered by support - phi descending
+        gaps = [s - p for _e, s, p in report.hub_edges]
+        assert gaps == sorted(gaps, reverse=True)
+        assert report.has_hub_edges
+
+    def test_no_gap_on_biclique(self):
+        g = complete_biclique(3, 3)
+        result = bit_bu_plus_plus(g)
+        report = hub_edge_report(g, result)
+        # every edge: support == phi == 4
+        assert report.gap_ratio == 1.0
+        assert not report.has_hub_edges
+        assert report.support_phi_correlation == 1.0
+
+    def test_empty_graph(self):
+        g = BipartiteGraph(1, 1)
+        report = hub_edge_report(g, bit_bu_plus_plus(g))
+        assert report.hub_edges == []
+
+
+class TestDistributionsAndAdvice:
+    def test_phi_distribution_sums_to_m(self):
+        g = erdos_renyi_bipartite(12, 12, 70, seed=3)
+        result = bit_bu_plus_plus(g)
+        dist = phi_distribution(result)
+        assert sum(dist.values()) == g.num_edges
+        assert max(dist) == result.max_k
+
+    def test_recommends_pc_for_lopsided(self):
+        g = chung_lu_bipartite(1000, 20, 3000, exponent_upper=2.4,
+                               exponent_lower=1.8, seed=4)
+        algorithm, reason = recommend_algorithm(g)
+        assert algorithm == "bit-pc"
+        assert "hub" in reason
+
+    def test_recommends_bu_for_even(self):
+        g = erdos_renyi_bipartite(40, 40, 300, seed=5)
+        algorithm, _reason = recommend_algorithm(g)
+        assert algorithm == "bit-bu++"

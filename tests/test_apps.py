@@ -1,0 +1,121 @@
+"""Application layers: fraud, research groups, recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fraud import detect_fraud_candidates
+from repro.apps.recommendation import recommend_items, similarity_tiers
+from repro.apps.research_groups import research_group_hierarchy
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    nested_communities,
+    paper_figure1_graph,
+)
+
+
+def _planted_fraud_graph():
+    background = chung_lu_bipartite(120, 80, 500, seed=55)
+    edges = set(background.edges())
+    for u in range(120, 130):
+        for v in range(80, 86):
+            edges.add((u, v))
+    return BipartiteGraph(130, 86, sorted(edges)), set(range(120, 130)), set(range(80, 86))
+
+
+class TestFraud:
+    def test_finds_planted_block(self):
+        graph, users, pages = _planted_fraud_graph()
+        report = detect_fraud_candidates(graph, min_level=3, max_core_fraction=0.3)
+        assert report.level >= 3
+        assert users <= report.users
+        assert pages <= report.pages
+        assert report.density > 0.5
+
+    def test_no_core_in_sparse_graph(self):
+        g = BipartiteGraph(4, 4, [(0, 0), (1, 1), (2, 2), (3, 3)])
+        report = detect_fraud_candidates(g, min_level=2)
+        assert report.level == 0
+        assert report.users == set() and report.edges == []
+        assert report.density == 0.0
+
+    def test_invalid_fraction(self):
+        g = paper_figure1_graph()
+        with pytest.raises(ValueError):
+            detect_fraud_candidates(g, max_core_fraction=0.0)
+
+
+class TestResearchGroups:
+    def test_figure1_hierarchy(self):
+        hierarchy = research_group_hierarchy(paper_figure1_graph())
+        ks = [level.k for level in hierarchy.levels]
+        assert ks == [1, 2]
+        # the 2-level group is {u0, u1, u2} x {v0, v1}
+        authors, papers = hierarchy.levels[-1].groups[0]
+        assert authors == {0, 1, 2}
+        assert papers == {0, 1}
+
+    def test_nested_sizes_shrink(self):
+        g = nested_communities(
+            [(16, 16, 0.3), (6, 6, 1.0)], noise_edges=40, seed=9
+        )
+        hierarchy = research_group_hierarchy(g, levels=3)
+        sizes = [
+            sum(len(a) + len(p) for a, p in level.groups)
+            for level in hierarchy.levels
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_tightest_groups_nonempty(self):
+        g = nested_communities([(5, 5, 1.0)], seed=0)
+        hierarchy = research_group_hierarchy(g)
+        assert hierarchy.tightest_groups()
+
+    def test_butterfly_free_graph(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        hierarchy = research_group_hierarchy(g)
+        assert hierarchy.levels == []
+
+    def test_level_subsampling(self):
+        g = nested_communities([(10, 10, 0.5), (4, 4, 1.0)], seed=3)
+        full = research_group_hierarchy(g)
+        sampled = research_group_hierarchy(g, levels=2)
+        assert len(sampled.levels) <= 2
+        assert len(full.levels) >= len(sampled.levels)
+
+
+class TestRecommendation:
+    def test_tiers_nested(self):
+        g = nested_communities(
+            [(12, 12, 0.4), (5, 5, 1.0)], noise_edges=30, seed=4
+        )
+        tiers = similarity_tiers(g)
+        ks = sorted(tiers.tiers)
+        for k1, k2 in zip(ks, ks[1:]):
+            users1, items1 = tiers.tiers[k1]
+            users2, items2 = tiers.tiers[k2]
+            assert users2 <= users1 and items2 <= items1
+
+    def test_item_tier(self):
+        g = nested_communities([(4, 4, 1.0)], num_extra_lower=2, seed=0)
+        tiers = similarity_tiers(g)
+        assert tiers.item_tier(0) == 9  # inside the complete 4x4 block
+        assert tiers.item_tier(5) == 0  # isolated fringe item
+
+    def test_recommendations_exclude_owned(self):
+        g = nested_communities(
+            [(12, 12, 0.5), (5, 5, 1.0)], noise_edges=20, seed=6
+        )
+        user = 0
+        owned = set(g.neighbors_of_upper(user))
+        for item, score in recommend_items(g, user, top_n=20):
+            assert item not in owned
+            assert score >= 1
+
+    def test_recommendations_ranked(self):
+        g = nested_communities(
+            [(12, 12, 0.5), (5, 5, 1.0)], noise_edges=20, seed=6
+        )
+        recs = recommend_items(g, 0, top_n=10)
+        scores = [s for _, s in recs]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,110 @@
+"""k-bitruss extraction and the verification oracle."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_edge
+from repro.core import bit_bu_plus_plus, k_bitruss_direct, k_bitruss_edges
+from repro.core.bitruss import k_bitruss_subgraph
+from repro.core.verification import reference_decomposition, verify_decomposition
+from repro.graph.generators import (
+    erdos_renyi_bipartite,
+    nested_communities,
+    paper_figure4_graph,
+)
+
+
+class TestDirectExtraction:
+    def test_figure4_levels(self):
+        g = paper_figure4_graph()
+        assert sorted(k_bitruss_direct(g, 1)) == list(range(9))
+        assert sorted(k_bitruss_direct(g, 2)) == list(range(6))
+        assert k_bitruss_direct(g, 3) == []
+
+    def test_k0_is_whole_graph(self):
+        g = paper_figure4_graph()
+        assert k_bitruss_direct(g, 0) == list(range(g.num_edges))
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            k_bitruss_direct(paper_figure4_graph(), -1)
+
+    def test_support_invariant_inside_result(self):
+        g = erdos_renyi_bipartite(15, 15, 90, seed=3)
+        for k in (1, 2, 4):
+            eids = k_bitruss_direct(g, k)
+            if not eids:
+                continue
+            sub, _ = g.subgraph_from_edge_ids(eids)
+            assert int(count_per_edge(sub).min()) >= k
+
+    def test_maximality(self):
+        # no superset of the k-bitruss satisfies the support invariant:
+        # adding any removed edge must break it somewhere
+        g = erdos_renyi_bipartite(10, 10, 55, seed=4)
+        k = 2
+        inside = set(k_bitruss_direct(g, k))
+        phi = bit_bu_plus_plus(g).phi
+        for eid in range(g.num_edges):
+            assert (eid in inside) == (phi[eid] >= k)
+
+    def test_nested_structure(self):
+        g = nested_communities(
+            [(10, 10, 0.35), (4, 4, 1.0)], noise_edges=15, seed=5
+        )
+        previous = set(k_bitruss_direct(g, 0))
+        max_phi = int(bit_bu_plus_plus(g).phi.max())
+        for k in range(1, max_phi + 1):
+            current = set(k_bitruss_direct(g, k))
+            assert current <= previous
+            previous = current
+
+
+class TestSubgraphHelpers:
+    def test_k_bitruss_edges(self):
+        phi = np.array([0, 2, 2, 3])
+        assert k_bitruss_edges(phi, 2) == [1, 2, 3]
+        assert k_bitruss_edges(phi, 4) == []
+
+    def test_k_bitruss_subgraph(self):
+        g = paper_figure4_graph()
+        phi = bit_bu_plus_plus(g).phi
+        sub = k_bitruss_subgraph(g, phi, 1)
+        assert sub.num_edges == 9
+
+
+class TestVerification:
+    def test_accepts_correct(self):
+        g = erdos_renyi_bipartite(10, 10, 50, seed=6)
+        verify_decomposition(g, bit_bu_plus_plus(g).phi)
+
+    def test_rejects_inflated(self):
+        g = paper_figure4_graph()
+        phi = bit_bu_plus_plus(g).phi.copy()
+        phi[9] = 5  # pendant edge cannot have bitruss number 5
+        with pytest.raises(AssertionError):
+            verify_decomposition(g, phi)
+
+    def test_rejects_deflated(self):
+        g = paper_figure4_graph()
+        phi = bit_bu_plus_plus(g).phi.copy()
+        phi[0] = 0
+        with pytest.raises(AssertionError):
+            verify_decomposition(g, phi)
+
+    def test_rejects_wrong_length(self):
+        g = paper_figure4_graph()
+        with pytest.raises(AssertionError):
+            verify_decomposition(g, np.zeros(2))
+
+    def test_reference_decomposition_matches_peeling(self):
+        g = erdos_renyi_bipartite(8, 8, 36, seed=7)
+        np.testing.assert_array_equal(
+            reference_decomposition(g), bit_bu_plus_plus(g).phi
+        )
+
+    def test_empty_graph(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        g = BipartiteGraph(1, 1)
+        verify_decomposition(g, np.zeros(0))

@@ -1,0 +1,168 @@
+"""Unit and property tests for the peeling bucket queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bucket_queue import BucketQueue, LazyMinHeap
+
+
+class TestBasics:
+    def test_push_pop_single(self):
+        q = BucketQueue()
+        q.push(7, 3)
+        assert len(q) == 1
+        assert q.peek_min_key() == 3
+        assert q.pop_min() == (7, 3)
+        assert q.is_empty()
+
+    def test_pop_order(self):
+        q = BucketQueue()
+        for item, key in [(0, 5), (1, 2), (2, 9), (3, 2)]:
+            q.push(item, key)
+        popped = [q.pop_min() for _ in range(4)]
+        keys = [k for _, k in popped]
+        assert keys == sorted(keys)
+        assert {i for i, k in popped if k == 2} == {1, 3}
+
+    def test_duplicate_push_rejected(self):
+        q = BucketQueue()
+        q.push(1, 1)
+        with pytest.raises(ValueError):
+            q.push(1, 2)
+
+    def test_negative_key_rejected(self):
+        q = BucketQueue()
+        with pytest.raises(ValueError):
+            q.push(1, -1)
+        q.push(2, 0)
+        with pytest.raises(ValueError):
+            q.update(2, -3)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BucketQueue().pop_min()
+
+    def test_contains_and_key(self):
+        q = BucketQueue()
+        q.push(4, 10)
+        assert 4 in q and 5 not in q
+        assert q.key(4) == 10
+
+    def test_remove(self):
+        q = BucketQueue()
+        q.push(1, 1)
+        q.push(2, 2)
+        assert q.remove(1) == 1
+        assert q.pop_min() == (2, 2)
+
+    def test_from_keys(self):
+        q = BucketQueue.from_keys([3, 0, 3])
+        assert q.pop_min() == (1, 0)
+        assert len(q) == 2
+
+    def test_clear(self):
+        q = BucketQueue.from_keys([1, 2])
+        q.clear()
+        assert q.is_empty()
+
+
+class TestUpdates:
+    def test_decrease_key_moves_floor_back(self):
+        q = BucketQueue()
+        q.push(1, 5)
+        q.push(2, 7)
+        assert q.peek_min_key() == 5
+        q.update(2, 1)  # decrease below the scanned floor
+        assert q.pop_min() == (2, 1)
+        assert q.pop_min() == (1, 5)
+
+    def test_increase_key(self):
+        q = BucketQueue()
+        q.push(1, 1)
+        q.push(2, 2)
+        q.update(1, 10)
+        assert q.pop_min() == (2, 2)
+        assert q.pop_min() == (1, 10)
+
+    def test_noop_update(self):
+        q = BucketQueue()
+        q.push(1, 4)
+        q.update(1, 4)
+        assert q.key(1) == 4
+
+
+class TestBatches:
+    def test_pop_min_batch(self):
+        q = BucketQueue.from_keys([2, 1, 1, 3, 1])
+        items, key = q.pop_min_batch()
+        assert key == 1
+        assert sorted(items) == [1, 2, 4]
+        assert len(q) == 2
+
+    def test_items_at_min_nondestructive(self):
+        q = BucketQueue.from_keys([1, 1, 5])
+        items, key = q.items_at_min()
+        assert key == 1 and sorted(items) == [0, 1]
+        assert len(q) == 3
+
+    def test_pop_level(self):
+        q = BucketQueue.from_keys([0, 1, 2, 3, 4])
+        drained = q.pop_level(2)
+        assert sorted(drained) == [0, 1, 2]
+        assert q.peek_min_key() == 3
+
+    def test_pop_level_nothing(self):
+        q = BucketQueue.from_keys([5])
+        assert q.pop_level(2) == []
+        assert len(q) == 1
+
+
+# Random operation sequences: BucketQueue must behave exactly like the
+# straightforward heap implementation.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "update", "pop", "pop_batch"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=20),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops)
+def test_bucket_queue_matches_heap(ops):
+    bucket = BucketQueue()
+    heap = LazyMinHeap()
+    for op, item, key in ops:
+        if op == "push":
+            if item in bucket:
+                continue
+            bucket.push(item, key)
+            heap.push(item, key)
+        elif op == "update":
+            if item not in bucket:
+                continue
+            bucket.update(item, key)
+            heap.update(item, key)
+        elif op == "pop":
+            if bucket.is_empty():
+                assert heap.is_empty()
+                continue
+            # Tie-broken item choice may differ between implementations, so
+            # pop from the bucket queue and check the heap agrees on the key.
+            popped, bk = bucket.pop_min()
+            assert heap.peek_min_key() == bk
+            assert heap.key(popped) == bk
+            heap.remove(popped)
+        elif op == "pop_batch":
+            if bucket.is_empty():
+                continue
+            items, key = bucket.pop_min_batch()
+            for it in items:
+                assert heap.key(it) == key
+                heap.remove(it)
+    assert len(bucket) == len(heap)
+    for it in list(bucket):
+        assert heap.key(it) == bucket.key(it)

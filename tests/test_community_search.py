@@ -1,0 +1,76 @@
+"""Bitruss-based community search."""
+
+import pytest
+
+from repro.apps.community_search import (
+    bitruss_community,
+    max_level_of_vertex,
+)
+from repro.core.api import bitruss_decomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import paper_figure4_graph
+
+
+@pytest.fixture
+def two_blocks():
+    """Two disjoint complete 3x3 blocks, joined by one bridge edge."""
+    edges = [(u, v) for u in range(3) for v in range(3)]
+    edges += [(u, v) for u in range(3, 6) for v in range(3, 6)]
+    edges.append((0, 3))  # bridge: in no butterfly
+    return BipartiteGraph(6, 6, edges)
+
+
+class TestCommunity:
+    def test_figure4_query_upper(self, figure4):
+        c = bitruss_community(figure4, k=2, upper=0)
+        assert c.upper == {0, 1, 2}
+        assert c.lower == {0, 1}
+        assert len(c.edges) == 6
+
+    def test_query_vertex_outside_level(self, figure4):
+        # u3 has no edge with phi >= 2
+        c = bitruss_community(figure4, k=2, upper=3)
+        assert c.upper == set() and c.size == 0
+
+    def test_disjoint_blocks_are_separate_communities(self, two_blocks):
+        c0 = bitruss_community(two_blocks, k=2, upper=0)
+        c1 = bitruss_community(two_blocks, k=2, upper=4)
+        assert c0.upper == {0, 1, 2}
+        assert c1.upper == {3, 4, 5}
+        assert not (c0.lower & c1.lower)
+
+    def test_bridge_not_in_community(self, two_blocks):
+        c = bitruss_community(two_blocks, k=1, upper=0)
+        assert (0, 3) not in c.edges
+
+    def test_lower_query(self, two_blocks):
+        c = bitruss_community(two_blocks, k=2, lower=5)
+        assert c.lower == {3, 4, 5}
+
+    def test_reuses_decomposition(self, figure4):
+        decomposition = bitruss_decomposition(figure4)
+        c = bitruss_community(
+            figure4, k=1, upper=3, decomposition=decomposition
+        )
+        assert 3 in c.upper
+
+    def test_requires_exactly_one_query(self, figure4):
+        with pytest.raises(ValueError):
+            bitruss_community(figure4, k=1)
+        with pytest.raises(ValueError):
+            bitruss_community(figure4, k=1, upper=0, lower=0)
+
+
+class TestMaxLevel:
+    def test_levels(self, figure4):
+        assert max_level_of_vertex(figure4, upper=0) == 2
+        assert max_level_of_vertex(figure4, upper=3) == 1
+        assert max_level_of_vertex(figure4, lower=4) == 0
+
+    def test_isolated_vertex(self):
+        g = BipartiteGraph(2, 1, [(0, 0)])
+        assert max_level_of_vertex(g, upper=1) == 0
+
+    def test_requires_exactly_one_query(self, figure4):
+        with pytest.raises(ValueError):
+            max_level_of_vertex(figure4)

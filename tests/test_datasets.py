@@ -1,0 +1,59 @@
+"""The bundled dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    HUB_SHOWCASE,
+    REPRESENTATIVE,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+
+
+def test_fifteen_datasets_like_the_paper():
+    assert len(dataset_names()) == 15
+
+
+def test_representatives_registered():
+    names = set(dataset_names())
+    assert set(REPRESENTATIVE) <= names
+    assert HUB_SHOWCASE in names
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError):
+        dataset_spec("nope")
+    with pytest.raises(KeyError):
+        load_dataset("nope")
+
+
+@pytest.mark.parametrize("name", ["condmat", "marvel", "github"])
+def test_load_and_validate(name):
+    g = load_dataset(name)
+    g.validate()
+    assert g.num_edges > 0
+    spec = dataset_spec(name)
+    assert spec.description
+
+
+def test_deterministic_generation():
+    a = load_dataset("condmat", cache=False)
+    b = load_dataset("condmat", cache=False)
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+def test_cache_returns_same_object():
+    a = load_dataset("marvel")
+    b = load_dataset("marvel")
+    assert a is b
+    c = load_dataset("marvel", cache=False)
+    assert c is not a
+
+
+def test_bs_friendly_flags():
+    # mirrors the paper: BiT-BS is INF on wiki-it and wiki-fr only
+    assert not dataset_spec("wiki-it").bs_friendly
+    assert not dataset_spec("wiki-fr").bs_friendly
+    assert dataset_spec("d-style").bs_friendly
+    assert dataset_spec("github").bs_friendly

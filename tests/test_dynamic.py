@@ -1,0 +1,127 @@
+"""Incremental butterfly-support maintenance under edge updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.butterfly.counting import count_per_edge
+from repro.core import bit_bu_plus_plus
+from repro.maintenance.dynamic import DynamicBipartiteGraph
+
+
+def _assert_supports_exact(dyn: DynamicBipartiteGraph) -> None:
+    """Maintained supports must equal a fresh static recount."""
+    snapshot = dyn.snapshot()
+    static = count_per_edge(snapshot)
+    for eid, (u, v) in enumerate(snapshot.edges()):
+        assert dyn.support_of(u, v) == int(static[eid]), (u, v)
+
+
+class TestBasics:
+    def test_single_butterfly_lifecycle(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        assert dyn.support_of(0, 0) == 0
+        created = dyn.insert_edge(1, 1)
+        assert created == 1
+        assert all(dyn.support_of(u, v) == 1 for u, v in dyn.supports())
+        destroyed = dyn.delete_edge(1, 1)
+        assert destroyed == 1
+        assert dyn.support_of(0, 0) == 0
+
+    def test_duplicate_insert_rejected(self):
+        dyn = DynamicBipartiteGraph(1, 1, [(0, 0)])
+        with pytest.raises(ValueError):
+            dyn.insert_edge(0, 0)
+
+    def test_delete_missing_rejected(self):
+        dyn = DynamicBipartiteGraph(1, 1)
+        with pytest.raises(KeyError):
+            dyn.delete_edge(0, 0)
+
+    def test_out_of_range_insert(self):
+        dyn = DynamicBipartiteGraph(1, 1)
+        with pytest.raises(ValueError):
+            dyn.insert_edge(1, 0)
+
+    def test_vertex_growth(self):
+        dyn = DynamicBipartiteGraph(1, 1, [(0, 0)])
+        u = dyn.add_upper_vertex()
+        v = dyn.add_lower_vertex()
+        dyn.insert_edge(u, 0)
+        dyn.insert_edge(u, v)
+        dyn.insert_edge(0, v)
+        # now a complete 2x2: one butterfly
+        assert dyn.support_of(0, 0) == 1
+
+    def test_snapshot_matches_state(self):
+        dyn = DynamicBipartiteGraph(2, 3, [(0, 0), (1, 2)])
+        snap = dyn.snapshot()
+        assert sorted(snap.edges()) == [(0, 0), (1, 2)]
+
+    def test_decompose_snapshot(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        result = dyn.decompose()
+        assert result.max_k == 1
+
+
+class TestExactness:
+    def test_insert_sequence(self):
+        dyn = DynamicBipartiteGraph(5, 5)
+        rng = np.random.default_rng(3)
+        pairs = [(int(u), int(v)) for u in range(5) for v in range(5)]
+        rng.shuffle(pairs)
+        for u, v in pairs[:18]:
+            dyn.insert_edge(u, v)
+            _assert_supports_exact(dyn)
+
+    def test_mixed_sequence(self):
+        dyn = DynamicBipartiteGraph(4, 4)
+        ops = [
+            ("+", 0, 0), ("+", 0, 1), ("+", 1, 0), ("+", 1, 1),
+            ("+", 2, 0), ("+", 2, 1), ("-", 0, 1), ("+", 3, 3),
+            ("+", 2, 3), ("-", 1, 1), ("+", 0, 1),
+        ]
+        for op, u, v in ops:
+            if op == "+":
+                dyn.insert_edge(u, v)
+            else:
+                dyn.delete_edge(u, v)
+            _assert_supports_exact(dyn)
+
+    def test_insert_then_delete_is_identity(self):
+        base = [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]
+        dyn = DynamicBipartiteGraph(3, 3, base)
+        before = dyn.supports()
+        created = dyn.insert_edge(2, 0)
+        destroyed = dyn.delete_edge(2, 0)
+        assert created == destroyed
+        assert dyn.supports() == before
+
+    def test_decomposition_tracks_updates(self):
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        assert dyn.decompose().max_k == 1
+        dyn.insert_edge(2, 0)
+        dyn.insert_edge(2, 1)
+        assert dyn.decompose().max_k == 2
+        dyn.delete_edge(0, 0)
+        assert dyn.decompose().max_k == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_random_update_stream_property(ops):
+    """Toggling random edges keeps maintained supports exact throughout."""
+    dyn = DynamicBipartiteGraph(5, 5)
+    for u, v in ops:
+        if dyn.has_edge(u, v):
+            dyn.delete_edge(u, v)
+        else:
+            dyn.insert_edge(u, v)
+    _assert_supports_exact(dyn)

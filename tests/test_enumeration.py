@@ -1,0 +1,118 @@
+"""Butterfly/wedge/bloom enumeration and the Lemma 3 uniqueness property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.butterfly.enumeration import (
+    bloom_of_butterfly,
+    butterflies_containing_edge,
+    enumerate_butterflies,
+    enumerate_priority_obeyed_wedges,
+    enumerate_wedges,
+    reference_blooms,
+)
+from repro.graph.generators import complete_biclique, erdos_renyi_bipartite
+from repro.utils.priority import vertex_priorities
+from tests.conftest import bipartite_graphs
+
+
+class TestButterflies:
+    def test_canonical_form(self, medium_random):
+        for u, v, w, x in enumerate_butterflies(medium_random):
+            assert u < w and v < x
+            for a, b in ((u, v), (u, x), (w, v), (w, x)):
+                assert medium_random.has_edge(a, b)
+
+    def test_no_duplicates(self, medium_random):
+        seen = list(enumerate_butterflies(medium_random))
+        assert len(seen) == len(set(seen))
+
+    def test_count_matches_k22(self):
+        g = complete_biclique(3, 3)
+        assert len(list(enumerate_butterflies(g))) == 9
+
+    def test_butterflies_containing_edge(self, figure4):
+        # (u2, v1) is edge e5: in B0* twice and B1* once -> 3 butterflies
+        found = butterflies_containing_edge(figure4, 2, 1)
+        assert len(found) == 3
+        for bf in found:
+            u, v, w, x = bf
+            assert (2 in (u, w)) and (1 in (v, x))
+
+    def test_butterflies_containing_edge_unique(self, medium_random):
+        g = medium_random
+        u, v = g.edge_endpoints(0)
+        found = butterflies_containing_edge(g, u, v)
+        assert len(found) == len(set(found))
+
+
+class TestWedges:
+    def test_wedge_count_formula(self):
+        # number of wedges = sum over middle vertices of d*(d-1)
+        g = complete_biclique(3, 2)
+        wedges = list(enumerate_wedges(g))
+        degrees = g.degrees()
+        assert len(wedges) == int(sum(d * (d - 1) for d in degrees))
+
+    def test_priority_obeyed_subset(self, medium_random):
+        prio = vertex_priorities(medium_random.degrees())
+        all_wedges = set(enumerate_wedges(medium_random))
+        obeyed = list(enumerate_priority_obeyed_wedges(medium_random))
+        for start, mid, end in obeyed:
+            assert (start, mid, end) in all_wedges
+            assert prio[start] > prio[mid] and prio[start] > prio[end]
+
+    def test_priority_obeyed_bound(self, medium_random):
+        # Lemma 6: #priority-obeyed wedges <= sum over edges of min degree
+        g = medium_random
+        obeyed = sum(1 for _ in enumerate_priority_obeyed_wedges(g))
+        bound = sum(
+            min(g.degree_upper(u), g.degree_lower(v)) for u, v in g.edges()
+        )
+        assert obeyed <= bound
+
+
+class TestBloomsLemma3:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_butterfly_in_exactly_one_bloom(self, seed):
+        g = erdos_renyi_bipartite(10, 10, 50, seed=seed)
+        prio = vertex_priorities(g.degrees())
+        blooms = reference_blooms(g, priorities=prio)
+        for bf in enumerate_butterflies(g):
+            anchor, partner = bloom_of_butterfly(g, bf, priorities=prio)
+            assert (anchor, partner) in blooms
+            middles = blooms[(anchor, partner)]
+            u, v, w, x = bf
+            gids = {
+                g.gid_of_upper(u), g.gid_of_upper(w),
+                g.gid_of_lower(v), g.gid_of_lower(x),
+            }
+            non_dominant = gids - {anchor, partner}
+            assert non_dominant <= set(middles)
+
+    def test_bloom_butterfly_totals(self, medium_random):
+        # sum over blooms of C(k, 2) equals the butterfly count (Lemma 1+3)
+        blooms = reference_blooms(medium_random)
+        total = sum(len(m) * (len(m) - 1) // 2 for m in blooms.values())
+        assert total == len(list(enumerate_butterflies(medium_random)))
+
+    def test_bloom_anchor_priority_dominates(self, medium_random):
+        prio = vertex_priorities(medium_random.degrees())
+        for (anchor, partner), middles in reference_blooms(medium_random).items():
+            assert prio[anchor] > prio[partner]
+            for mid in middles:
+                assert prio[anchor] > prio[mid]
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite_graphs())
+def test_lemma3_property(graph):
+    """Each butterfly maps to exactly one maximal priority-obeyed bloom."""
+    prio = vertex_priorities(graph.degrees())
+    blooms = reference_blooms(graph, priorities=prio)
+    count_via_blooms = sum(len(m) * (len(m) - 1) // 2 for m in blooms.values())
+    butterflies = list(enumerate_butterflies(graph))
+    assert count_via_blooms == len(butterflies)
+    owners = [bloom_of_butterfly(graph, bf, priorities=prio) for bf in butterflies]
+    assert all(key in blooms for key in owners)

@@ -1,0 +1,152 @@
+"""Tests of the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_butterflies_total, count_per_edge
+from repro.graph.generators import (
+    affiliation_bipartite,
+    chung_lu_bipartite,
+    complete_biclique,
+    erdos_renyi_bipartite,
+    hub_edge_example,
+    nested_communities,
+    paper_figure1_graph,
+    paper_figure4_graph,
+    planted_bloom,
+    power_law_weights,
+    union_graphs,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_bipartite(10, 12, 37, seed=1)
+        assert g.num_edges == 37
+        g.validate()
+
+    def test_deterministic(self):
+        a = erdos_renyi_bipartite(8, 8, 20, seed=5)
+        b = erdos_renyi_bipartite(8, 8, 20, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_bipartite(10, 10, 30, seed=1)
+        b = erdos_renyi_bipartite(10, 10, 30, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(2, 2, 5)
+
+    def test_full_grid(self):
+        g = erdos_renyi_bipartite(3, 3, 9, seed=0)
+        assert g.num_edges == 9
+
+
+class TestChungLu:
+    def test_edge_count_and_determinism(self):
+        a = chung_lu_bipartite(50, 60, 300, seed=3)
+        b = chung_lu_bipartite(50, 60, 300, seed=3)
+        assert a.num_edges == 300
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_skewed_degrees(self):
+        g = chung_lu_bipartite(
+            300, 300, 1500, exponent_upper=1.8, exponent_lower=1.8, seed=4
+        )
+        degrees = sorted((g.degree_upper(u) for u in range(300)), reverse=True)
+        # heavy tail: the top vertex should dominate the median
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= max(4 * max(median, 1), 8)
+
+    def test_power_law_weights_clip(self):
+        rng = np.random.default_rng(0)
+        w = power_law_weights(1000, 1.5, rng=rng, max_weight=10.0)
+        assert w.max() <= 10.0
+        assert w.min() >= 1.0
+
+    def test_power_law_invalid_exponent(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            power_law_weights(10, 1.0, rng=rng)
+
+
+class TestStructured:
+    def test_complete_biclique(self):
+        g = complete_biclique(3, 4)
+        assert g.num_edges == 12
+        # K_{a,b} holds C(a,2)*C(b,2) butterflies
+        assert count_butterflies_total(g) == 3 * 6
+
+    def test_planted_bloom_lemma1(self):
+        # Lemma 1: a k-bloom contains exactly k(k-1)/2 butterflies
+        for k in (1, 2, 5, 9):
+            g = planted_bloom(k)
+            assert count_butterflies_total(g) == k * (k - 1) // 2
+
+    def test_planted_bloom_lemma2(self):
+        # Lemma 2: each edge of a k-bloom lies in k-1 butterflies
+        g = planted_bloom(6)
+        support = count_per_edge(g)
+        assert set(support.tolist()) == {5}
+
+    def test_planted_bloom_invalid(self):
+        with pytest.raises(ValueError):
+            planted_bloom(0)
+
+    def test_nested_communities_nesting_enforced(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            nested_communities([(3, 3), (5, 5)])
+
+    def test_nested_communities_block_structure(self):
+        g = nested_communities([(6, 6, 1.0)], seed=0)
+        assert g.num_edges == 36
+
+    def test_nested_communities_densities(self):
+        g = nested_communities(
+            [(20, 20, 0.2), (6, 6, 1.0)], noise_edges=30,
+            num_extra_upper=5, num_extra_lower=5, seed=1,
+        )
+        # the inner complete block must be fully present
+        for u in range(6):
+            for v in range(6):
+                assert g.has_edge(u, v)
+        assert g.num_upper == 25 and g.num_lower == 25
+
+    def test_nested_communities_requires_blocks(self):
+        with pytest.raises(ValueError):
+            nested_communities([])
+
+    def test_affiliation_determinism(self):
+        a = affiliation_bipartite(30, 30, 10, community_upper=4,
+                                  community_lower=4, seed=2)
+        b = affiliation_bipartite(30, 30, 10, community_upper=4,
+                                  community_lower=4, seed=2)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_union_graphs(self):
+        g = union_graphs(2, 2, [[(0, 0), (1, 1)], [(0, 0), (0, 1)]])
+        assert g.num_edges == 3
+
+
+class TestPaperFigures:
+    def test_figure1_shape(self):
+        g = paper_figure1_graph()
+        assert g.num_upper == 4 and g.num_lower == 5
+        assert g.num_edges == 11
+
+    def test_figure4_shape_and_butterflies(self):
+        g = paper_figure4_graph()
+        assert g.num_edges == 11
+        # B0* (3-bloom) holds 3 butterflies, B1* (2-bloom) holds 1
+        assert count_butterflies_total(g) == 4
+
+    def test_hub_edge_example(self):
+        g = hub_edge_example(fan=50)
+        support = count_per_edge(g)
+        eid = g.edge_id(1, 1)
+        # the motivating property: exactly one butterfly contains (u1, v1)
+        assert support[eid] == 1
+        assert g.degree_upper(1) == 51
+        assert g.degree_lower(1) == 51

@@ -1,0 +1,94 @@
+"""Interoperability: biadjacency matrices, scipy sparse, networkx."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.interop import (
+    from_biadjacency,
+    from_networkx,
+    from_scipy_sparse,
+    to_biadjacency,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+@pytest.fixture
+def sample():
+    return BipartiteGraph(3, 4, [(0, 0), (0, 3), (1, 1), (2, 2), (2, 3)])
+
+
+class TestBiadjacency:
+    def test_round_trip(self, sample):
+        again = from_biadjacency(to_biadjacency(sample))
+        assert sorted(again.edges()) == sorted(sample.edges())
+
+    def test_matrix_shape_and_entries(self, sample):
+        m = to_biadjacency(sample)
+        assert m.shape == (3, 4)
+        assert m.sum() == sample.num_edges
+        assert m[0, 3] == 1 and m[1, 0] == 0
+
+    def test_from_weighted_matrix(self):
+        m = np.array([[2, 0], [0, 0.5]])
+        g = from_biadjacency(m)
+        assert sorted(g.edges()) == [(0, 0), (1, 1)]
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            from_biadjacency(np.zeros(3))
+
+
+class TestScipySparse:
+    def test_round_trip(self, sample):
+        again = from_scipy_sparse(to_scipy_sparse(sample))
+        assert sorted(again.edges()) == sorted(sample.edges())
+
+    def test_csr_properties(self, sample):
+        m = to_scipy_sparse(sample)
+        assert m.shape == (3, 4)
+        assert m.nnz == sample.num_edges
+
+
+class TestNetworkx:
+    def test_round_trip(self, sample):
+        nx_graph = to_networkx(sample)
+        again, upper_map, lower_map = from_networkx(nx_graph)
+        assert again.num_upper == 3 and again.num_lower == 4
+        assert again.num_edges == sample.num_edges
+        # structure is preserved up to the relabelling maps
+        for u, v in sample.edges():
+            assert again.has_edge(upper_map[("u", u)], lower_map[("l", v)])
+
+    def test_node_attributes(self, sample):
+        nx_graph = to_networkx(sample)
+        assert nx_graph.nodes[("u", 0)]["bipartite"] == 0
+        assert nx_graph.nodes[("l", 2)]["bipartite"] == 1
+        assert nx_graph.number_of_nodes() == 7
+
+    def test_missing_bipartite_attribute(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("a")
+        with pytest.raises(ValueError, match="bipartite"):
+            from_networkx(g)
+
+    def test_same_layer_edge_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("a", bipartite=0)
+        g.add_node("b", bipartite=0)
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="layers"):
+            from_networkx(g)
+
+    def test_decomposition_through_networkx(self, sample):
+        # end-to-end: hand a networkx graph to the decomposition
+        from repro import bitruss_decomposition
+
+        graph, _u, _l = from_networkx(to_networkx(sample))
+        result = bitruss_decomposition(graph)
+        assert len(result.phi) == sample.num_edges

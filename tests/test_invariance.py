@@ -1,0 +1,88 @@
+"""Structural invariance properties of the decomposition.
+
+The bitruss number of an edge is a property of the graph's *structure*, so
+it must be invariant under vertex relabelling and under swapping the two
+layers — even though the BE-Index built along the way (which depends on the
+id-based priority tie-break) may differ completely.  These tests pin that
+down, plus persistence round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bit_bu_plus_plus, bit_pc
+from repro.core.result import load_decomposition, save_decomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import erdos_renyi_bipartite
+from tests.conftest import bipartite_graphs
+
+
+def _relabel(graph, perm_u, perm_l):
+    edges = [(perm_u[u], perm_l[v]) for u, v in graph.edges()]
+    return BipartiteGraph(graph.num_upper, graph.num_lower, edges)
+
+
+def _swap_layers(graph):
+    edges = [(v, u) for u, v in graph.edges()]
+    return BipartiteGraph(graph.num_lower, graph.num_upper, edges)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_relabelling_invariance(seed):
+    g = erdos_renyi_bipartite(10, 10, 50, seed=seed)
+    rng = np.random.default_rng(seed + 100)
+    perm_u = rng.permutation(g.num_upper)
+    perm_l = rng.permutation(g.num_lower)
+    relabelled = _relabel(g, perm_u, perm_l)
+
+    phi = bit_bu_plus_plus(g).phi
+    phi_relabelled = bit_bu_plus_plus(relabelled)
+    for eid, (u, v) in enumerate(g.edges()):
+        assert phi[eid] == phi_relabelled.phi_of(int(perm_u[u]), int(perm_l[v]))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_layer_swap_invariance(seed):
+    g = erdos_renyi_bipartite(9, 11, 45, seed=seed)
+    swapped = _swap_layers(g)
+    phi = bit_bu_plus_plus(g).phi
+    phi_swapped = bit_bu_plus_plus(swapped)
+    for eid, (u, v) in enumerate(g.edges()):
+        assert phi[eid] == phi_swapped.phi_of(v, u)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs(max_upper=7, max_lower=7, max_edges=28),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_invariance_property(graph, seed):
+    """Relabelling + layer swap leave every bitruss number unchanged."""
+    rng = np.random.default_rng(seed)
+    perm_u = rng.permutation(graph.num_upper)
+    perm_l = rng.permutation(graph.num_lower)
+    transformed = _swap_layers(_relabel(graph, perm_u, perm_l))
+    phi = bit_pc(graph, tau=0.5).phi
+    phi_t = bit_pc(transformed, tau=0.5)
+    for eid, (u, v) in enumerate(graph.edges()):
+        assert phi[eid] == phi_t.phi_of(int(perm_l[v]), int(perm_u[u]))
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, medium_random):
+        result = bit_bu_plus_plus(medium_random)
+        path = tmp_path / "decomposition.json"
+        save_decomposition(result, path)
+        loaded = load_decomposition(path)
+        np.testing.assert_array_equal(loaded.phi, result.phi)
+        assert loaded.graph.num_edges == medium_random.num_edges
+        assert loaded.stats.algorithm == "BiT-BU++"
+        # queries keep working on the loaded object
+        assert loaded.max_k == result.max_k
+        assert loaded.hierarchy() == result.hierarchy()
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a saved"):
+            load_decomposition(path)

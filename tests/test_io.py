@@ -1,0 +1,137 @@
+"""Edge-list IO round-trips and error handling."""
+
+import gzip
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.io import (
+    iter_edge_lines,
+    load_edge_list,
+    load_phi,
+    save_edge_list,
+    save_phi,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    return BipartiteGraph(3, 4, [(0, 0), (0, 3), (1, 1), (2, 2)])
+
+
+def test_round_trip_plain(tmp_path, sample_graph):
+    path = tmp_path / "g.txt"
+    save_edge_list(sample_graph, path)
+    loaded = load_edge_list(path)
+    assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+    loaded.validate()
+
+
+def test_round_trip_gzip(tmp_path, sample_graph):
+    path = tmp_path / "g.txt.gz"
+    save_edge_list(sample_graph, path)
+    with gzip.open(path, "rt") as fh:
+        assert fh.readline().startswith("%")
+    loaded = load_edge_list(path)
+    assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+
+def test_round_trip_one_based(tmp_path, sample_graph):
+    path = tmp_path / "konect.txt"
+    save_edge_list(sample_graph, path, base=1)
+    loaded = load_edge_list(path, base=1)
+    assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+
+def test_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("% header\n\n# another comment\n0 0\n1 1\n")
+    g = load_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_duplicates_deduped_by_default(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n0 0\n1 1\n")
+    assert load_edge_list(path).num_edges == 2
+    with pytest.raises(ValueError, match="duplicate"):
+        load_edge_list(path, dedup=False)
+
+
+def test_malformed_line(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n")
+    with pytest.raises(ValueError, match="two columns"):
+        load_edge_list(path)
+
+
+def test_non_integer(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("a b\n")
+    with pytest.raises(ValueError, match="non-integer"):
+        load_edge_list(path)
+
+
+def test_wrong_base_detected(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n")
+    with pytest.raises(ValueError, match="base"):
+        load_edge_list(path, base=1)
+
+
+def test_iter_edge_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("% c\n3 4\n5 6\n")
+    assert list(iter_edge_lines(path)) == [(3, 4), (5, 6)]
+
+
+def test_phi_round_trip(tmp_path):
+    path = tmp_path / "phi.txt"
+    save_phi([0, 3, 12], path)
+    assert load_phi(path) == [0, 3, 12]
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path, sample_graph):
+        from repro.graph.io import load_matrix_market, save_matrix_market
+
+        path = tmp_path / "g.mtx"
+        save_matrix_market(sample_graph, path)
+        loaded = load_matrix_market(path)
+        assert loaded.num_upper == sample_graph.num_upper
+        assert loaded.num_lower == sample_graph.num_lower
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+    def test_integer_values_and_zero_entries(self, tmp_path):
+        from repro.graph.io import load_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "% comment\n"
+            "2 3 3\n"
+            "1 1 5\n"
+            "2 3 1\n"
+            "1 2 0\n"
+        )
+        g = load_matrix_market(path)
+        # explicit zero entries are not edges
+        assert sorted(g.edges()) == [(0, 0), (1, 2)]
+
+    def test_missing_header(self, tmp_path):
+        from repro.graph.io import load_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text("1 1 1\n1 1\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            load_matrix_market(path)
+
+    def test_unsupported_type(self, tmp_path):
+        from repro.graph.io import load_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+        )
+        with pytest.raises(ValueError, match="value type"):
+            load_matrix_market(path)

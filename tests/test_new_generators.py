@@ -1,0 +1,94 @@
+"""Configuration-model and stochastic-block-model generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    configuration_model_bipartite,
+    stochastic_block_model_bipartite,
+)
+
+
+class TestConfigurationModel:
+    def test_exact_degrees_small(self):
+        g = configuration_model_bipartite([2, 2, 2], [3, 3], seed=1)
+        assert g.num_edges == 6
+        assert [g.degree_upper(u) for u in range(3)] == [2, 2, 2]
+        assert [g.degree_lower(v) for v in range(2)] == [3, 3]
+
+    def test_mismatched_sums(self):
+        with pytest.raises(ValueError, match="equal sums"):
+            configuration_model_bipartite([2, 2], [3])
+
+    def test_negative_degree(self):
+        with pytest.raises(ValueError):
+            configuration_model_bipartite([-1, 3], [1, 1])
+
+    def test_deterministic(self):
+        a = configuration_model_bipartite([3, 2, 1] * 5, [2] * 15, seed=7)
+        b = configuration_model_bipartite([3, 2, 1] * 5, [2] * 15, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_near_exact_degrees_large(self):
+        rng = np.random.default_rng(0)
+        deg_u = rng.integers(1, 6, size=60)
+        total = int(deg_u.sum())
+        deg_l = []
+        remaining = total
+        while remaining > 0:
+            d = min(int(rng.integers(1, 6)), remaining)
+            deg_l.append(d)
+            remaining -= d
+        g = configuration_model_bipartite(deg_u.tolist(), deg_l, seed=1)
+        # rewiring may drop only a tiny fraction of stubs
+        assert g.num_edges >= 0.95 * total
+
+    def test_zero_degrees_allowed(self):
+        g = configuration_model_bipartite([0, 2], [1, 1, 0], seed=1)
+        assert g.degree_upper(0) == 0
+        assert g.num_edges == 2
+
+
+class TestStochasticBlockModel:
+    def test_shape(self):
+        g = stochastic_block_model_bipartite(
+            [4, 6], [5, 5], [[1.0, 0.0], [0.0, 1.0]], seed=1
+        )
+        assert g.num_upper == 10 and g.num_lower == 10
+        # with the identity matrix, blocks are complete and disjoint
+        assert g.num_edges == 4 * 5 + 6 * 5
+        assert g.has_edge(0, 0)
+        assert not g.has_edge(0, 9)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model_bipartite([2], [2], [[1.5]])
+        with pytest.raises(ValueError):
+            stochastic_block_model_bipartite([2], [2], [[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            stochastic_block_model_bipartite([2, 2], [2], [[0.5]])
+
+    def test_deterministic(self):
+        args = ([5, 5], [5, 5], [[0.7, 0.1], [0.1, 0.7]])
+        a = stochastic_block_model_bipartite(*args, seed=3)
+        b = stochastic_block_model_bipartite(*args, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_planted_communities_have_higher_bitruss(self):
+        from repro.core import bit_bu_plus_plus
+
+        g = stochastic_block_model_bipartite(
+            [8, 8], [8, 8], [[0.9, 0.05], [0.05, 0.9]], seed=5
+        )
+        result = bit_bu_plus_plus(g)
+        in_block = [
+            result.phi[eid]
+            for eid, (u, v) in enumerate(g.edges())
+            if (u < 8) == (v < 8)
+        ]
+        cross = [
+            result.phi[eid]
+            for eid, (u, v) in enumerate(g.edges())
+            if (u < 8) != (v < 8)
+        ]
+        assert np.mean(in_block) > 2 * (np.mean(cross) if cross else 0.0)

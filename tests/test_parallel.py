@@ -1,0 +1,43 @@
+"""Process-parallel butterfly counting."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_edge
+from repro.butterfly.parallel import count_per_edge_parallel
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import chung_lu_bipartite, erdos_renyi_bipartite
+
+
+def test_matches_serial_small():
+    g = erdos_renyi_bipartite(20, 20, 150, seed=1)
+    np.testing.assert_array_equal(
+        count_per_edge_parallel(g, workers=2), count_per_edge(g)
+    )
+
+
+def test_matches_serial_skewed():
+    g = chung_lu_bipartite(300, 30, 1500, exponent_upper=2.4,
+                           exponent_lower=1.8, seed=2)
+    np.testing.assert_array_equal(
+        count_per_edge_parallel(g, workers=3, chunks_per_worker=2),
+        count_per_edge(g),
+    )
+
+
+def test_single_worker_fallback():
+    g = erdos_renyi_bipartite(10, 10, 50, seed=3)
+    np.testing.assert_array_equal(
+        count_per_edge_parallel(g, workers=1), count_per_edge(g)
+    )
+
+
+def test_empty_graph():
+    g = BipartiteGraph(0, 0)
+    assert count_per_edge_parallel(g, workers=2).shape == (0,)
+
+
+def test_invalid_workers():
+    g = BipartiteGraph(1, 1, [(0, 0)])
+    with pytest.raises(ValueError):
+        count_per_edge_parallel(g, workers=0)

@@ -1,0 +1,101 @@
+"""White-box tests of BiT-PC's iteration machinery."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_edge
+from repro.core import bit_bu_plus_plus, bit_pc
+from repro.core.bit_pc import largest_possible_bitruss
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    complete_biclique,
+    erdos_renyi_bipartite,
+    planted_bloom,
+    union_graphs,
+)
+from repro.index.be_index import BEIndex
+from tests.conftest import assert_phi_equal
+
+
+class TestCompressedPeel:
+    def test_assigned_edges_keep_blooms_alive(self):
+        """Compressed index: assigned edges still contribute wedge counts.
+
+        Build a 4-bloom, mark one wedge pair assigned; the remaining edges
+        must still see the butterflies they share with the assigned pair.
+        """
+        g = planted_bloom(4)
+        assigned = np.zeros(g.num_edges, dtype=bool)
+        # edges (0,0) and (1,0) form the wedge through lower vertex 0
+        assigned[g.edge_id(0, 0)] = True
+        assigned[g.edge_id(1, 0)] = True
+        index = BEIndex.build(g, assigned=assigned)
+        bloom = next(iter(index.blooms.values()))
+        assert bloom.k == 4  # all wedges counted, assigned included
+        for eid in range(g.num_edges):
+            assert index.support[eid] == 3  # Lemma 2 with k = 4
+
+    def test_detaching_never_touches_assigned(self):
+        g = planted_bloom(4)
+        assigned = np.zeros(g.num_edges, dtype=bool)
+        assigned[g.edge_id(0, 0)] = True
+        assigned[g.edge_id(1, 0)] = True
+        index = BEIndex.build(g, assigned=assigned)
+        frozen = int(index.support[g.edge_id(0, 0)])
+        removal_counts = {}
+        live = g.edge_id(0, 1)
+        index.detach_edge(live, removal_counts, floor=0)
+        index.apply_bloom_batch(removal_counts, floor=0)
+        assert int(index.support[g.edge_id(0, 0)]) == frozen
+
+
+class TestIterationBehaviour:
+    def test_disconnected_levels(self):
+        # one deep component + one shallow component exercise multiple
+        # epsilon iterations with carried-over unassigned edges
+        deep = complete_biclique(4, 4).to_edge_list()
+        shallow = [(u + 4, v + 4) for u, v in complete_biclique(2, 2).to_edge_list()]
+        g = union_graphs(6, 6, [deep, shallow])
+        expected = bit_bu_plus_plus(g).phi
+        for tau in (0.2, 0.5, 1.0):
+            assert_phi_equal(bit_pc(g, tau=tau).phi, expected, f"tau={tau}")
+
+    def test_iterations_recorded(self):
+        g = chung_lu_bipartite(150, 20, 700, exponent_upper=2.5,
+                               exponent_lower=1.7, seed=12)
+        result = bit_pc(g, tau=0.1)
+        assert result.stats.iterations >= 2
+        assert result.stats.parameters["prefilter"] == "fixpoint"
+
+    def test_timings_cover_all_phases(self):
+        g = erdos_renyi_bipartite(15, 15, 90, seed=1)
+        result = bit_pc(g)
+        for phase in ("counting", "candidate extraction",
+                      "index construction", "peeling"):
+            assert phase in result.stats.timings
+
+    def test_single_edge_graph(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        result = bit_pc(g)
+        assert result.phi.tolist() == [0]
+        assert result.stats.parameters["k_max"] == 0
+
+
+class TestKmaxEdgeCases:
+    def test_kmax_zero_when_no_butterflies(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        assert largest_possible_bitruss(count_per_edge(g)) == 0
+
+    def test_kmax_with_uniform_supports(self):
+        g = complete_biclique(4, 4)
+        support = count_per_edge(g)
+        # 16 edges of support 9 -> h-index min(16, 9) = 9
+        assert largest_possible_bitruss(support) == 9
+
+    def test_kmax_never_below_phimax_on_skew(self):
+        g = chung_lu_bipartite(200, 15, 800, exponent_upper=2.5,
+                               exponent_lower=1.7, seed=4)
+        support = count_per_edge(g)
+        phi = bit_bu_plus_plus(g).phi
+        assert largest_possible_bitruss(support) >= int(phi.max())

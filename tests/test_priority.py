@@ -1,0 +1,54 @@
+"""Tests of the Definition 7 vertex-priority ranking."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.priority import priority_order, vertex_priorities
+
+
+def test_priorities_are_a_permutation():
+    prio = vertex_priorities(np.array([3, 1, 2, 1]))
+    assert sorted(prio.tolist()) == [1, 2, 3, 4]
+
+
+def test_higher_degree_higher_priority():
+    prio = vertex_priorities(np.array([5, 1, 3]))
+    assert prio[0] > prio[2] > prio[1]
+
+
+def test_ties_broken_by_global_id():
+    prio = vertex_priorities(np.array([2, 2, 2]))
+    # equal degrees: larger gid wins (Definition 7)
+    assert prio[2] > prio[1] > prio[0]
+
+
+def test_upper_layer_wins_degree_ties_in_graph():
+    # one upper and one lower vertex, both degree 1: the upper vertex has
+    # the larger gid, hence the larger priority (paper's u.id > v.id rule)
+    g = BipartiteGraph(1, 1, [(0, 0)])
+    prio = vertex_priorities(g.degrees())
+    assert prio[g.gid_of_upper(0)] > prio[g.gid_of_lower(0)]
+
+
+def test_priority_order_matches_ranks():
+    degrees = np.array([4, 0, 2, 2, 7])
+    order = priority_order(degrees)
+    prio = vertex_priorities(degrees)
+    assert [prio[g] for g in order] == [1, 2, 3, 4, 5]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60)
+)
+def test_definition7_pairwise(degrees):
+    degrees = np.array(degrees)
+    prio = vertex_priorities(degrees)
+    n = len(degrees)
+    for a in range(n):
+        for b in range(n):
+            if degrees[a] > degrees[b]:
+                assert prio[a] > prio[b]
+            elif degrees[a] == degrees[b] and a > b:
+                assert prio[a] > prio[b]

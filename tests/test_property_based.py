@@ -1,0 +1,74 @@
+"""Hypothesis property tests over random bipartite graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.butterfly.counting import count_per_edge
+from repro.core import (
+    bit_bs,
+    bit_bu,
+    bit_bu_plus,
+    bit_bu_plus_plus,
+    bit_pc,
+    k_bitruss_direct,
+    reference_decomposition,
+)
+from tests.conftest import assert_phi_equal, bipartite_graphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(bipartite_graphs())
+def test_all_algorithms_agree(graph):
+    """BS, BU, BU+, BU++ and PC return identical bitruss numbers."""
+    expected = bit_bs(graph).phi
+    for fn in (bit_bu, bit_bu_plus, bit_bu_plus_plus):
+        assert_phi_equal(fn(graph).phi, expected, fn.__name__)
+    for tau in (0.02, 0.5, 1.0):
+        assert_phi_equal(bit_pc(graph, tau=tau).phi, expected, f"pc tau={tau}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs(max_upper=7, max_lower=7, max_edges=30))
+def test_matches_definition(graph):
+    """The fast algorithms agree with the from-definition reference."""
+    expected = reference_decomposition(graph)
+    assert_phi_equal(bit_bu_plus_plus(graph).phi, expected, "bu++ vs definition")
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite_graphs())
+def test_phi_bounded_by_support(graph):
+    """phi(e) <= sup(e): an edge cannot outrank its butterfly support."""
+    support = count_per_edge(graph)
+    phi = bit_bu_plus_plus(graph).phi
+    assert np.all(phi <= support)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs(max_upper=7, max_lower=7, max_edges=28))
+def test_level_sets_match_direct_bitruss(graph):
+    """For every occurring k, {e : phi(e) >= k} is exactly the k-bitruss."""
+    phi = bit_bu_plus_plus(graph).phi
+    for k in sorted(set(int(v) for v in phi))[:4]:
+        direct = set(k_bitruss_direct(graph, k))
+        from_phi = {int(e) for e in np.nonzero(phi >= k)[0]}
+        assert direct == from_phi
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite_graphs())
+def test_zero_phi_iff_no_surviving_butterflies(graph):
+    """phi(e) = 0 exactly when e survives in no 1-bitruss."""
+    phi = bit_bu_plus_plus(graph).phi
+    one_bitruss = set(k_bitruss_direct(graph, 1))
+    for eid in range(graph.num_edges):
+        assert (phi[eid] >= 1) == (eid in one_bitruss)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite_graphs())
+def test_decomposition_is_permutation_invariant_of_algorithm_state(graph):
+    """Running the same algorithm twice gives identical results."""
+    first = bit_bu_plus_plus(graph).phi
+    second = bit_bu_plus_plus(graph).phi
+    assert_phi_equal(first, second, "repeatability")

@@ -1,0 +1,70 @@
+"""The BitrussDecomposition result object."""
+
+import numpy as np
+import pytest
+
+from repro.core import bit_bu_plus_plus
+from repro.core.result import BitrussDecomposition
+from repro.graph.generators import paper_figure4_graph
+from repro.utils.stats import DecompositionStats
+
+
+@pytest.fixture
+def result():
+    return bit_bu_plus_plus(paper_figure4_graph())
+
+
+def test_max_k(result):
+    assert result.max_k == 2
+
+
+def test_phi_of(result):
+    assert result.phi_of(0, 0) == 2
+    assert result.phi_of(3, 2) == 1
+    assert result.phi_of(3, 4) == 0
+
+
+def test_edges_with_phi_at_least(result):
+    assert result.edges_with_phi_at_least(2) == [0, 1, 2, 3, 4, 5]
+    assert result.edges_with_phi_at_least(3) == []
+
+
+def test_k_bitruss_subgraph(result):
+    h2 = result.k_bitruss(2)
+    assert h2.num_edges == 6
+    assert sorted(h2.edges()) == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+
+def test_hierarchy(result):
+    assert result.hierarchy() == {0: 11, 1: 9, 2: 6}
+
+
+def test_level_sets(result):
+    levels = result.level_sets()
+    assert sorted(levels) == [0, 1, 2]
+    assert levels[2] == [0, 1, 2, 3, 4, 5]
+    assert levels[0] == [9, 10]
+
+
+def test_as_dict(result):
+    d = result.as_dict()
+    assert d[(0, 0)] == 2 and d[(2, 3)] == 0
+    assert len(d) == 11
+
+
+def test_repr(result):
+    assert "max_k=2" in repr(result)
+
+
+def test_length_mismatch_rejected():
+    g = paper_figure4_graph()
+    with pytest.raises(ValueError):
+        BitrussDecomposition(g, np.zeros(3), DecompositionStats())
+
+
+def test_empty_graph_result():
+    from repro.graph.bipartite import BipartiteGraph
+
+    r = bit_bu_plus_plus(BipartiteGraph(0, 0))
+    assert r.max_k == 0
+    assert r.hierarchy() == {0: 0}

@@ -1,0 +1,85 @@
+"""Vertex sampling (the Fig. 12 scalability workload)."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_bipartite
+from repro.graph.sampling import sample_vertices
+
+
+@pytest.fixture
+def base_graph():
+    return erdos_renyi_bipartite(50, 60, 600, seed=1)
+
+
+def test_full_fraction_returns_copy(base_graph):
+    sampled = sample_vertices(base_graph, 1.0, seed=0)
+    assert sampled.num_edges == base_graph.num_edges
+    assert sampled is not base_graph
+
+
+def test_layer_sizes_scale(base_graph):
+    sampled = sample_vertices(base_graph, 0.4, seed=0)
+    assert sampled.num_upper == 20
+    assert sampled.num_lower == 24
+
+
+def test_monotone_edge_counts(base_graph):
+    sizes = [
+        sample_vertices(base_graph, f, seed=5).num_edges
+        for f in (0.2, 0.4, 0.6, 0.8, 1.0)
+    ]
+    # random induced subgraphs: statistically increasing; enforce weak
+    # monotonicity over the seeded draws we actually use
+    assert sizes == sorted(sizes)
+
+
+def test_deterministic(base_graph):
+    a = sample_vertices(base_graph, 0.5, seed=3)
+    b = sample_vertices(base_graph, 0.5, seed=3)
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+def test_edges_are_induced(base_graph):
+    sampled = sample_vertices(base_graph, 0.5, seed=3, relabel=False)
+    for u, v in sampled.edges():
+        assert base_graph.has_edge(u, v)
+
+
+def test_invalid_fraction(base_graph):
+    with pytest.raises(ValueError):
+        sample_vertices(base_graph, 0.0)
+    with pytest.raises(ValueError):
+        sample_vertices(base_graph, 1.2)
+
+
+def test_tiny_fraction_keeps_at_least_one_vertex(base_graph):
+    sampled = sample_vertices(base_graph, 0.01, seed=0)
+    assert sampled.num_upper >= 1 and sampled.num_lower >= 1
+
+
+class TestNestedSampling:
+    def test_nested_containment(self, base_graph):
+        from repro.graph.sampling import nested_sample_fractions
+
+        samples = nested_sample_fractions(
+            base_graph, (0.2, 0.6, 1.0), seed=1, relabel=False
+        )
+        small, mid, full = (set(s.edges()) for s in samples)
+        assert small <= mid <= full
+        assert full == set(base_graph.edges())
+
+    def test_monotone_edge_counts(self, base_graph):
+        from repro.graph.sampling import nested_sample_fractions
+
+        samples = nested_sample_fractions(
+            base_graph, (0.2, 0.4, 0.6, 0.8, 1.0), seed=2
+        )
+        counts = [s.num_edges for s in samples]
+        assert counts == sorted(counts)
+
+    def test_invalid_fraction(self, base_graph):
+        from repro.graph.sampling import nested_sample_fractions
+
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            nested_sample_fractions(base_graph, (0.5, 0.0), seed=1)

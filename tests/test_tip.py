@@ -1,0 +1,121 @@
+"""Tip decomposition (the vertex-level hierarchy of [5])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.butterfly.enumeration import enumerate_butterflies
+from repro.core.tip import (
+    butterfly_counts_per_vertex,
+    k_tip_vertices,
+    tip_decomposition,
+)
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_biclique,
+    erdos_renyi_bipartite,
+    planted_bloom,
+)
+from tests.conftest import bipartite_graphs
+
+
+def _reference_tip(graph, layer):
+    """Tip numbers straight from the definition (iterated filtering)."""
+    n = graph.num_upper if layer == "upper" else graph.num_lower
+    theta = np.zeros(n, dtype=np.int64)
+    k = 1
+    while True:
+        alive = k_tip_vertices(graph, k, layer)
+        if not alive:
+            break
+        for u in alive:
+            theta[u] = k
+        k += 1
+    return theta
+
+
+class TestCounts:
+    def test_counts_match_enumeration(self, medium_random):
+        counts_u = butterfly_counts_per_vertex(medium_random, "upper")
+        counts_l = butterfly_counts_per_vertex(medium_random, "lower")
+        expected_u = np.zeros(medium_random.num_upper, dtype=np.int64)
+        expected_l = np.zeros(medium_random.num_lower, dtype=np.int64)
+        for u, v, w, x in enumerate_butterflies(medium_random):
+            expected_u[u] += 1
+            expected_u[w] += 1
+            expected_l[v] += 1
+            expected_l[x] += 1
+        np.testing.assert_array_equal(counts_u, expected_u)
+        np.testing.assert_array_equal(counts_l, expected_l)
+
+    def test_complete_biclique_counts(self):
+        # K_{3,4}: each upper vertex is in C(2,1)*C(4,2) = 12 butterflies
+        g = complete_biclique(3, 4)
+        counts = butterfly_counts_per_vertex(g, "upper")
+        assert counts.tolist() == [12, 12, 12]
+
+    def test_invalid_layer(self, figure4):
+        with pytest.raises(ValueError):
+            butterfly_counts_per_vertex(figure4, "middle")
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("layer", ["upper", "lower"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_definition_random(self, layer, seed):
+        g = erdos_renyi_bipartite(8, 8, 36, seed=seed)
+        np.testing.assert_array_equal(
+            tip_decomposition(g, layer), _reference_tip(g, layer)
+        )
+
+    def test_planted_bloom(self):
+        g = planted_bloom(5)
+        theta = tip_decomposition(g, "upper")
+        # both anchor vertices are in C(5,2) = 10 butterflies
+        assert theta.tolist() == [10, 10]
+
+    def test_star_all_zero(self):
+        g = complete_biclique(1, 6)
+        assert tip_decomposition(g, "upper").tolist() == [0]
+        assert set(tip_decomposition(g, "lower").tolist()) == {0}
+
+    def test_empty_graph(self):
+        g = BipartiteGraph(0, 3)
+        assert tip_decomposition(g, "upper").shape == (0,)
+
+    def test_figure4(self, figure4):
+        theta = tip_decomposition(figure4, "upper")
+        # {u0, u1, u2} form the 2-tip (each in >= 2 butterflies among
+        # themselves); u3 only reaches the 1-tip
+        assert theta.tolist() == [2, 2, 2, 1]
+
+    def test_invalid_layer(self, figure4):
+        with pytest.raises(ValueError):
+            tip_decomposition(figure4, "sideways")
+
+
+class TestKTip:
+    def test_k0_everything(self, figure4):
+        assert k_tip_vertices(figure4, 0, "upper") == {0, 1, 2, 3}
+
+    def test_negative_k(self, figure4):
+        with pytest.raises(ValueError):
+            k_tip_vertices(figure4, -2)
+
+    def test_matches_theta_levels(self, medium_random):
+        theta = tip_decomposition(medium_random, "upper")
+        for k in sorted(set(theta.tolist()))[:4]:
+            if k == 0:
+                continue
+            direct = k_tip_vertices(medium_random, k, "upper")
+            from_theta = {int(u) for u in np.nonzero(theta >= k)[0]}
+            assert direct == from_theta
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs(max_upper=6, max_lower=6, max_edges=24))
+def test_tip_property(graph):
+    for layer in ("upper", "lower"):
+        np.testing.assert_array_equal(
+            tip_decomposition(graph, layer), _reference_tip(graph, layer)
+        )
