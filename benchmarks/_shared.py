@@ -20,7 +20,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.butterfly.counting import count_per_edge
-from repro.core import bit_bs, bit_bu, bit_bu_plus, bit_bu_plus_plus, bit_pc
+from repro.core import (
+    bit_bs,
+    bit_bu,
+    bit_bu_csr,
+    bit_bu_plus,
+    bit_bu_plus_plus,
+    bit_pc,
+)
 from repro.datasets import dataset_spec, load_dataset
 from repro.graph.bipartite import BipartiteGraph
 from repro.utils.stats import UpdateCounter
@@ -38,6 +45,7 @@ _ALGORITHMS = {
     "BU": bit_bu,
     "BU+": bit_bu_plus,
     "BU++": bit_bu_plus_plus,
+    "BU-CSR": bit_bu_csr,
     "PC": bit_pc,
 }
 

@@ -125,6 +125,6 @@ def max_level_of_vertex(
         eids = graph.edges_of_upper(upper)
     else:
         eids = graph.edges_of_lower(lower)
-    if not eids:
+    if len(eids) == 0:
         return 0
-    return int(max(result.phi[eid] for eid in eids))
+    return int(result.phi[eids].max())

@@ -26,42 +26,79 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
-from repro.utils.priority import vertex_priorities
+
+
+def collect_wedges(
+    indptr: np.ndarray,
+    nbr_arr: np.ndarray,
+    eid_arr: np.ndarray,
+    row_prios: np.ndarray,
+    prio: np.ndarray,
+    start: int,
+) -> Optional[List[Tuple[int, int, int, int]]]:
+    """Priority-obeyed wedges of one start vertex, from the sorted gid CSR.
+
+    The single scalar copy of the prefix-lookup scaffold shared by the
+    counters below and :meth:`repro.index.be_index.BEIndex.build`: rows are
+    pre-sorted by neighbour priority (``csr_gid_sorted``), so each
+    "priority < p(start)" filter is one ``searchsorted`` cut.
+
+    Returns a list of ``(w, v, e_uv, e_vw)`` tuples — end vertex, middle
+    vertex, and the wedge's two edge ids — or ``None`` when the start owns
+    no wedge.
+    """
+    lo, hi = int(indptr[start]), int(indptr[start + 1])
+    if hi - lo < 2:
+        return None
+    p_start = prio[start]
+    cut = int(np.searchsorted(row_prios[lo:hi], p_start))
+    if cut == 0:
+        return None
+    wedges: List[Tuple[int, int, int, int]] = []
+    for v, e_uv in zip(
+        nbr_arr[lo : lo + cut].tolist(), eid_arr[lo : lo + cut].tolist()
+    ):
+        vlo = int(indptr[v])
+        vcut = int(np.searchsorted(row_prios[vlo : int(indptr[v + 1])], p_start))
+        for w, e_vw in zip(
+            nbr_arr[vlo : vlo + vcut].tolist(),
+            eid_arr[vlo : vlo + vcut].tolist(),
+        ):
+            wedges.append((w, v, e_uv, e_vw))
+    return wedges or None
 
 
 def count_per_edge(
     graph: BipartiteGraph,
     *,
     priorities: Optional[np.ndarray] = None,
+    start_range: Optional[Tuple[int, int]] = None,
 ) -> np.ndarray:
     """Butterfly support of every edge, by vertex-priority wedge processing.
 
     Returns an ``int64`` array indexed by edge id.  ``priorities`` may be
-    supplied to reuse a precomputed Definition 7 ranking.
+    supplied to reuse a precomputed Definition 7 ranking.  ``start_range``
+    restricts the traversal to start vertices in ``[lo, hi)`` and returns
+    the *partial* supports contributed by those starts — the parallel
+    counter sums such partials across workers.
     """
-    adj, adj_eids = graph.adjacency_by_gid()
-    prio = priorities if priorities is not None else vertex_priorities(graph.degrees())
+    prio = priorities if priorities is not None else graph.priorities()
+    indptr, nbr_arr, eid_arr, row_prios = graph.csr_gid_sorted_with_prios(
+        priorities
+    )
     support = np.zeros(graph.num_edges, dtype=np.int64)
 
-    n = graph.num_vertices
-    for start in range(n):
-        p_start = prio[start]
-        neighbors = adj[start]
-        if len(neighbors) < 2:
+    lo_bound, hi_bound = (
+        (0, graph.num_vertices) if start_range is None else start_range
+    )
+    for start in range(lo_bound, hi_bound):
+        wedges = collect_wedges(indptr, nbr_arr, eid_arr, row_prios, prio, start)
+        if wedges is None:
             continue
         count_wedge: Dict[int, int] = {}
-        wedges: List[Tuple[int, int, int]] = []
-        for v, e_uv in zip(neighbors, adj_eids[start]):
-            if prio[v] >= p_start:
-                continue
-            for w, e_vw in zip(adj[v], adj_eids[v]):
-                if prio[w] >= p_start:
-                    continue
-                count_wedge[w] = count_wedge.get(w, 0) + 1
-                wedges.append((w, e_uv, e_vw))
-        if not wedges:
-            continue
-        for w, e_uv, e_vw in wedges:
+        for w, _v, _e_uv, _e_vw in wedges:
+            count_wedge[w] = count_wedge.get(w, 0) + 1
+        for w, _v, e_uv, e_vw in wedges:
             c = count_wedge[w]
             if c > 1:
                 support[e_uv] += c - 1
@@ -80,23 +117,19 @@ def count_butterflies_total(
     ``C(c, 2)`` per anchor pair instead of touching edges — slightly cheaper
     when only the global count is needed (Table II).
     """
-    adj, _ = graph.adjacency_by_gid()
-    prio = priorities if priorities is not None else vertex_priorities(graph.degrees())
+    prio = priorities if priorities is not None else graph.priorities()
+    indptr, nbr_arr, eid_arr, row_prios = graph.csr_gid_sorted_with_prios(
+        priorities
+    )
     total = 0
 
     for start in range(graph.num_vertices):
-        p_start = prio[start]
-        neighbors = adj[start]
-        if len(neighbors) < 2:
+        wedges = collect_wedges(indptr, nbr_arr, eid_arr, row_prios, prio, start)
+        if wedges is None:
             continue
         count_wedge: Dict[int, int] = {}
-        for v in neighbors:
-            if prio[v] >= p_start:
-                continue
-            for w in adj[v]:
-                if prio[w] >= p_start:
-                    continue
-                count_wedge[w] = count_wedge.get(w, 0) + 1
+        for w, _v, _e_uv, _e_vw in wedges:
+            count_wedge[w] = count_wedge.get(w, 0) + 1
         for c in count_wedge.values():
             if c > 1:
                 total += c * (c - 1) // 2
@@ -113,15 +146,21 @@ def count_per_edge_naive(graph: BipartiteGraph) -> np.ndarray:
     to validate :func:`count_per_edge`.
     """
     support = np.zeros(graph.num_edges, dtype=np.int64)
-    neighbor_sets_upper = [set(graph.neighbors_of_upper(u)) for u in range(graph.num_upper)]
+    neighbors_upper = [
+        graph.neighbors_of_upper(u).tolist() for u in range(graph.num_upper)
+    ]
+    neighbors_lower = [
+        graph.neighbors_of_lower(v).tolist() for v in range(graph.num_lower)
+    ]
+    neighbor_sets_upper = [set(nbrs) for nbrs in neighbors_upper]
     for eid in range(graph.num_edges):
         u, v = graph.edge_endpoints(eid)
         nu = neighbor_sets_upper[u]
         count = 0
-        for w in graph.neighbors_of_lower(v):
+        for w in neighbors_lower[v]:
             if w == u:
                 continue
-            for x in graph.neighbors_of_upper(w):
+            for x in neighbors_upper[w]:
                 if x != v and x in nu:
                     count += 1
         support[eid] = count

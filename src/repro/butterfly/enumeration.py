@@ -30,7 +30,7 @@ def enumerate_butterflies(graph: BipartiteGraph) -> Iterator[Butterfly]:
     """
     by_anchor: Dict[Tuple[int, int], List[int]] = {}
     for v in range(graph.num_lower):
-        uppers = sorted(graph.neighbors_of_lower(v))
+        uppers = sorted(graph.neighbors_of_lower(v).tolist())
         for i in range(len(uppers)):
             for j in range(i + 1, len(uppers)):
                 by_anchor.setdefault((uppers[i], uppers[j]), []).append(v)
@@ -49,11 +49,11 @@ def butterflies_containing_edge(graph: BipartiteGraph, u: int, v: int) -> List[B
     neighbours ``u``.
     """
     results: List[Butterfly] = []
-    nu: Set[int] = set(graph.neighbors_of_upper(u))
-    for w in graph.neighbors_of_lower(v):
+    nu: Set[int] = set(graph.neighbors_of_upper(u).tolist())
+    for w in graph.neighbors_of_lower(v).tolist():
         if w == u:
             continue
-        for x in graph.neighbors_of_upper(w):
+        for x in graph.neighbors_of_upper(w).tolist():
             if x != v and x in nu:
                 a, b = (u, w) if u < w else (w, u)
                 c, d = (v, x) if v < x else (x, v)

@@ -22,47 +22,24 @@ import numpy as np
 
 from repro.butterfly.counting import count_per_edge
 from repro.graph.bipartite import BipartiteGraph
-from repro.utils.priority import vertex_priorities
 
-# Worker state (set once per process by the pool initializer).
+# Worker state (set once per process by the pool initializer).  Each worker
+# rebuilds the graph from the shipped edge list — processes share no memory —
+# and then reads the graph's own cached CSR arrays, exactly like the
+# single-process path.
 _worker_graph: Optional[BipartiteGraph] = None
-_worker_prio: Optional[np.ndarray] = None
 
 
 def _init_worker(edges, num_upper, num_lower) -> None:
-    global _worker_graph, _worker_prio
+    global _worker_graph
     _worker_graph = BipartiteGraph(num_upper, num_lower, edges)
-    _worker_prio = vertex_priorities(_worker_graph.degrees())
+    _worker_graph.csr_gid_sorted()  # warm the shared CSR + priority caches
 
 
 def _count_range(bounds: Tuple[int, int]) -> np.ndarray:
     """Partial per-edge supports from start vertices in [lo, hi)."""
-    assert _worker_graph is not None and _worker_prio is not None
-    graph, prio = _worker_graph, _worker_prio
-    lo, hi = bounds
-    adj, adj_eids = graph.adjacency_by_gid()
-    support = np.zeros(graph.num_edges, dtype=np.int64)
-    for start in range(lo, hi):
-        p_start = prio[start]
-        neighbors = adj[start]
-        if len(neighbors) < 2:
-            continue
-        count_wedge = {}
-        wedges = []
-        for v, e_uv in zip(neighbors, adj_eids[start]):
-            if prio[v] >= p_start:
-                continue
-            for w, e_vw in zip(adj[v], adj_eids[v]):
-                if prio[w] >= p_start:
-                    continue
-                count_wedge[w] = count_wedge.get(w, 0) + 1
-                wedges.append((w, e_uv, e_vw))
-        for w, e_uv, e_vw in wedges:
-            c = count_wedge[w]
-            if c > 1:
-                support[e_uv] += c - 1
-                support[e_vw] += c - 1
-    return support
+    assert _worker_graph is not None
+    return count_per_edge(_worker_graph, start_range=bounds)
 
 
 def count_per_edge_parallel(

@@ -3,7 +3,8 @@
 from repro.core.api import ALGORITHMS, bitruss_decomposition
 from repro.core.bit_bs import bit_bs
 from repro.core.bit_bu import bit_bu
-from repro.core.bit_bu_batch import bit_bu_plus, bit_bu_plus_plus
+from repro.core.bit_bu_batch import bit_bu_csr, bit_bu_plus, bit_bu_plus_plus
+from repro.core.peeling_engine import CSRPeelingEngine
 from repro.core.bit_pc import bit_pc, largest_possible_bitruss
 from repro.core.bitruss import k_bitruss_direct, k_bitruss_edges, k_bitruss_subgraph
 from repro.core.result import BitrussDecomposition
@@ -12,8 +13,10 @@ from repro.core.verification import reference_decomposition, verify_decompositio
 __all__ = [
     "ALGORITHMS",
     "BitrussDecomposition",
+    "CSRPeelingEngine",
     "bit_bs",
     "bit_bu",
+    "bit_bu_csr",
     "bit_bu_plus",
     "bit_bu_plus_plus",
     "bit_pc",

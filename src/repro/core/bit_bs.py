@@ -39,13 +39,16 @@ def bit_bs(
     phi = np.zeros(graph.num_edges, dtype=np.int64)
 
     with timer.time("peeling"):
-        # Mutable adjacency (sets) so edge removals are O(1) and the
-        # butterfly enumeration below always sees the current graph.
+        # Mutable adjacency (sets, seeded from the CSR slices) so edge
+        # removals are O(1) and the butterfly enumeration below always sees
+        # the current graph.
         adj_upper: list[Set[int]] = [
-            set(graph.neighbors_of_upper(u)) for u in range(graph.num_upper)
+            set(graph.neighbors_of_upper(u).tolist())
+            for u in range(graph.num_upper)
         ]
         adj_lower: list[Set[int]] = [
-            set(graph.neighbors_of_lower(v)) for v in range(graph.num_lower)
+            set(graph.neighbors_of_lower(v).tolist())
+            for v in range(graph.num_lower)
         ]
         queue = BucketQueue.from_keys(support)
 

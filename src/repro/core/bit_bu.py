@@ -5,6 +5,11 @@ non-decreasing support order and each removal is Algorithm 2's
 index-mediated edge removal operation — ``O(sup(e))`` instead of the
 baseline's combination-based enumeration.  Total time
 ``O(Σ min(d(u), d(v)) + ⋈G)``.
+
+Index construction runs on the graph's shared priority-sorted CSR arrays
+(see :meth:`repro.graph.bipartite.BipartiteGraph.csr_gid_sorted`); the peel
+itself is the scalar one-edge-at-a-time loop — the vectorized whole-bucket
+variant lives in :func:`repro.core.bit_bu_batch.bit_bu_csr`.
 """
 
 from __future__ import annotations

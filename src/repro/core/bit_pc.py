@@ -21,6 +21,11 @@ largest possible bitruss number):
 
 Assigned edges are never support-updated again — that is where the >90%
 update reduction of Figures 7 and 10 comes from.
+
+Candidate extraction and recounting run on each (sub)graph's shared CSR
+arrays: ``subgraph_from_edge_ids`` builds the candidate's CSR in one
+vectorized pass and :func:`repro.butterfly.counting.count_per_edge` scans it
+with priority-sorted prefix lookups.
 """
 
 from __future__ import annotations

@@ -1,0 +1,410 @@
+"""CSR-native batch-peeling engine for bottom-up bitruss decomposition.
+
+The dict-based :class:`~repro.index.be_index.BEIndex` walks Python
+dictionaries edge by edge.  This module stores the *same* index — maximal
+priority-obeyed blooms, their wedge pairs, and the edge↔bloom links — as a
+handful of flat numpy arrays (a structure-of-arrays BE-Index), and peels the
+graph **one support level at a time**: the entire current minimum-support
+bucket is pulled from the queue at once and the support losses of every
+affected edge are computed for the whole batch with vectorized gathers,
+``np.unique`` and ``np.add.at`` against the arrays.
+
+Layout
+------
+One *pair* is one priority-obeyed wedge: two edges that are twins of each
+other inside one bloom (Definition 9).  A bloom with ``k`` live wedges holds
+``C(k, 2)`` butterflies (Lemma 1).
+
+==============  =======================================================
+array           meaning
+==============  =======================================================
+``support``     live butterfly support per edge (mutated while peeling)
+``pair_e1/e2``  the two twin edges of each wedge pair
+``pair_bloom``  owning bloom of each pair
+``pair_alive``  liveness flag per pair
+``bloom_k``     live wedge count per bloom
+``e_indptr``    CSR: edge -> its pair ids (``e_pair``)
+``b_indptr``    CSR: bloom -> its pair ids (``b_pair``)
+==============  =======================================================
+
+Batch semantics
+---------------
+A batch step reproduces Algorithm 5 (BiT-BU++) exactly — pass 1 detaches
+every batch member and charges each live external twin ``k − 1``; pass 2
+charges every surviving edge of a touched bloom the bloom's removed-pair
+count ``C(B*)`` and shrinks ``k`` — with both passes evaluated as array
+operations.  Because all updates inside one batch share the same floor
+(the batch's minimum support ``MBS``), the sequential floored subtractions
+of the scalar algorithm collapse into a single floored subtraction of the
+accumulated loss, so the resulting bitruss numbers are bitwise identical
+to scalar BiT-BU (Lemma 9 makes batch assignment safe).
+
+Tiny buckets fall back to a scalar walk over the same arrays
+(``scalar_cutoff``): a two-edge batch does not amortize numpy call
+overhead, the exact crossover the counting ablation already measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.butterfly.vectorized import gather_two_hop
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.bucket_queue import BucketQueue
+from repro.utils.stats import UpdateCounter
+
+
+def _gather_rows(
+    indptr: np.ndarray, data: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate CSR rows: returns ``(values, row_of_value)``."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    cum = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    idx = np.repeat(starts, counts) + offsets
+    return data[idx], np.repeat(rows, counts)
+
+
+class CSRPeelingEngine:
+    """Structure-of-arrays BE-Index with vectorized batch peeling.
+
+    Not built directly — use :meth:`build`.  One engine instance is good for
+    one :meth:`peel` run (peeling consumes the liveness arrays).
+    """
+
+    def __init__(
+        self,
+        num_edges: int,
+        support: np.ndarray,
+        pair_e1: np.ndarray,
+        pair_e2: np.ndarray,
+        pair_bloom: np.ndarray,
+        bloom_k: np.ndarray,
+        e_indptr: np.ndarray,
+        e_pair: np.ndarray,
+        b_indptr: np.ndarray,
+        b_pair: np.ndarray,
+    ) -> None:
+        self.num_edges = num_edges
+        self.support = support
+        self.pair_e1 = pair_e1
+        self.pair_e2 = pair_e2
+        self.pair_bloom = pair_bloom
+        self.pair_alive = np.ones(len(pair_bloom), dtype=bool)
+        self.bloom_k = bloom_k
+        self.e_indptr = e_indptr
+        self.e_pair = e_pair
+        self.b_indptr = b_indptr
+        self.b_pair = b_pair
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def build(
+        cls,
+        graph: BipartiteGraph,
+        *,
+        priorities: Optional[np.ndarray] = None,
+    ) -> "CSRPeelingEngine":
+        """Construct the flat-array index straight from the graph's CSR.
+
+        Performs the same priority-obeyed wedge traversal as
+        :meth:`repro.index.be_index.BEIndex.build` (Algorithm 3), but
+        collects wedge groups with ``np.argsort`` run detection and scatters
+        the per-edge supports with ``np.add.at`` — no Bloom dictionaries are
+        ever materialized.
+        """
+        m = graph.num_edges
+        n = graph.num_vertices
+        support = np.zeros(m, dtype=np.int64)
+        prio = (
+            np.asarray(priorities)
+            if priorities is not None
+            else graph.priorities()
+        )
+        indptr, neighbors, edge_ids, row_prios = graph.csr_gid_sorted_with_prios(
+            priorities
+        )
+
+        pair_e1_parts: List[np.ndarray] = []
+        pair_e2_parts: List[np.ndarray] = []
+        pair_bloom_parts: List[np.ndarray] = []
+        bloom_k_parts: List[np.ndarray] = []
+        next_bloom = 0
+
+        for start in range(n):
+            frontier = gather_two_hop(
+                indptr, neighbors, edge_ids, row_prios, start, prio[start]
+            )
+            if frontier is None:
+                continue
+            ends, end_edges, wedge_mid_edge = frontier
+
+            # Group the wedges of this start by end vertex: each group of
+            # size k >= 2 is one maximal priority-obeyed bloom.
+            order = np.argsort(ends, kind="stable")
+            sorted_ends = ends[order]
+            sorted_end_edges = end_edges[order]
+            sorted_mid_edges = wedge_mid_edge[order]
+            boundary = np.empty(len(sorted_ends), dtype=bool)
+            boundary[0] = True
+            np.not_equal(sorted_ends[1:], sorted_ends[:-1], out=boundary[1:])
+            run_ids = np.cumsum(boundary) - 1
+            run_starts = np.nonzero(boundary)[0]
+            run_lengths = np.diff(np.append(run_starts, len(sorted_ends)))
+
+            k_per_wedge = run_lengths[run_ids]
+            active = k_per_wedge >= 2
+            if not active.any():
+                continue
+            contrib = k_per_wedge[active] - 1
+            np.add.at(support, sorted_end_edges[active], contrib)
+            np.add.at(support, sorted_mid_edges[active], contrib)
+
+            run_is_active = run_lengths >= 2
+            bloom_of_run = np.full(len(run_lengths), -1, dtype=np.int64)
+            n_active = int(run_is_active.sum())
+            bloom_of_run[run_is_active] = next_bloom + np.arange(
+                n_active, dtype=np.int64
+            )
+            next_bloom += n_active
+
+            pair_e1_parts.append(sorted_mid_edges[active])
+            pair_e2_parts.append(sorted_end_edges[active])
+            pair_bloom_parts.append(bloom_of_run[run_ids[active]])
+            bloom_k_parts.append(run_lengths[run_is_active])
+
+        if pair_bloom_parts:
+            pair_e1 = np.concatenate(pair_e1_parts)
+            pair_e2 = np.concatenate(pair_e2_parts)
+            pair_bloom = np.concatenate(pair_bloom_parts)
+            bloom_k = np.concatenate(bloom_k_parts)
+        else:
+            pair_e1 = np.empty(0, dtype=np.int64)
+            pair_e2 = np.empty(0, dtype=np.int64)
+            pair_bloom = np.empty(0, dtype=np.int64)
+            bloom_k = np.empty(0, dtype=np.int64)
+
+        num_pairs = len(pair_bloom)
+        num_blooms = len(bloom_k)
+
+        # Edge -> pairs CSR (each pair appears under both of its edges).
+        link_edge = np.concatenate((pair_e1, pair_e2))
+        link_pair = np.concatenate(
+            (
+                np.arange(num_pairs, dtype=np.int64),
+                np.arange(num_pairs, dtype=np.int64),
+            )
+        )
+        link_order = np.argsort(link_edge, kind="stable")
+        e_indptr = np.zeros(m + 1, dtype=np.int64)
+        if len(link_edge):
+            np.cumsum(np.bincount(link_edge, minlength=m), out=e_indptr[1:])
+        e_pair = link_pair[link_order]
+
+        # Bloom -> pairs CSR.  Pairs are appended in non-decreasing bloom
+        # order, so the identity permutation is already grouped.
+        b_indptr = np.zeros(num_blooms + 1, dtype=np.int64)
+        if num_pairs:
+            np.cumsum(
+                np.bincount(pair_bloom, minlength=num_blooms), out=b_indptr[1:]
+            )
+        b_pair = np.arange(num_pairs, dtype=np.int64)
+
+        return cls(
+            m,
+            support,
+            pair_e1,
+            pair_e2,
+            pair_bloom,
+            bloom_k,
+            e_indptr,
+            e_pair,
+            b_indptr,
+            b_pair,
+        )
+
+    # ---------------------------------------------------------- inspection
+
+    def size_components(self) -> Tuple[int, int, int]:
+        """``(blooms, indexed edges, links)`` for the Fig. 11 size model."""
+        indexed = int(np.count_nonzero(np.diff(self.e_indptr)))
+        return len(self.bloom_k), indexed, 2 * len(self.pair_bloom)
+
+    # ------------------------------------------------------------- peeling
+
+    def peel(
+        self,
+        *,
+        counter: Optional[UpdateCounter] = None,
+        scalar_cutoff: int = 24,
+    ) -> np.ndarray:
+        """Bottom-up batch peeling; returns the bitruss number of every edge.
+
+        Parameters
+        ----------
+        counter:
+            Optional :class:`~repro.utils.stats.UpdateCounter`; one update is
+            recorded per (edge, batch) support change.
+        scalar_cutoff:
+            Batches of at most this many edges take the scalar array walk
+            (numpy per-call overhead dominates tiny batches); larger batches
+            take the vectorized path.  ``0`` forces vectorized everywhere.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``phi`` with ``phi[e]`` the bitruss number of edge ``e`` —
+            bitwise identical to scalar BiT-BU's output.
+        """
+        phi = np.zeros(self.num_edges, dtype=np.int64)
+        if self.num_edges == 0:
+            return phi
+        queue = BucketQueue.from_keys(self.support)
+        in_batch = np.zeros(self.num_edges, dtype=bool)
+        while not queue.is_empty():
+            batch, mbs = queue.pop_min_batch()
+            phi[batch] = mbs
+            if len(batch) <= scalar_cutoff:
+                self._peel_batch_scalar(batch, mbs, queue, counter)
+            else:
+                self._peel_batch_vectorized(batch, mbs, queue, counter, in_batch)
+        return phi
+
+    def _peel_batch_scalar(
+        self,
+        batch: List[int],
+        mbs: int,
+        queue: BucketQueue,
+        counter: Optional[UpdateCounter],
+    ) -> None:
+        """Small-batch fallback: same two passes, plain Python loops."""
+        batch_set = set(batch)
+        e_indptr = self.e_indptr
+        e_pair = self.e_pair
+        pair_alive = self.pair_alive
+        pair_bloom = self.pair_bloom
+        pair_e1 = self.pair_e1
+        pair_e2 = self.pair_e2
+        bloom_k = self.bloom_k
+        removed: Dict[int, int] = {}
+        loss: Dict[int, int] = {}
+        for edge in batch:
+            for slot in range(int(e_indptr[edge]), int(e_indptr[edge + 1])):
+                pair = int(e_pair[slot])
+                if not pair_alive[pair]:
+                    continue
+                bloom = int(pair_bloom[pair])
+                k = int(bloom_k[bloom])
+                if k < 2:
+                    continue
+                pair_alive[pair] = False
+                removed[bloom] = removed.get(bloom, 0) + 1
+                e1 = int(pair_e1[pair])
+                twin = int(pair_e2[pair]) if e1 == edge else e1
+                if twin not in batch_set:
+                    loss[twin] = loss.get(twin, 0) + k - 1
+        b_indptr = self.b_indptr
+        b_pair = self.b_pair
+        for bloom, c_removed in removed.items():
+            for slot in range(int(b_indptr[bloom]), int(b_indptr[bloom + 1])):
+                pair = int(b_pair[slot])
+                if pair_alive[pair]:
+                    e1 = int(pair_e1[pair])
+                    e2 = int(pair_e2[pair])
+                    loss[e1] = loss.get(e1, 0) + c_removed
+                    loss[e2] = loss.get(e2, 0) + c_removed
+            bloom_k[bloom] -= c_removed
+        support = self.support
+        for edge, total in loss.items():
+            new_value = max(mbs, int(support[edge]) - total)
+            if new_value != support[edge]:
+                support[edge] = new_value
+                queue.update(edge, new_value)
+                if counter is not None:
+                    counter.record(edge)
+
+    def _peel_batch_vectorized(
+        self,
+        batch: List[int],
+        mbs: int,
+        queue: BucketQueue,
+        counter: Optional[UpdateCounter],
+        in_batch: np.ndarray,
+    ) -> None:
+        """Whole-bucket update via gathers, ``np.unique`` and ``np.add.at``."""
+        batch_arr = np.asarray(batch, dtype=np.int64)
+        in_batch[batch_arr] = True
+        try:
+            links, owner = _gather_rows(self.e_indptr, self.e_pair, batch_arr)
+            if not len(links):
+                return
+            alive = self.pair_alive[links] & (
+                self.bloom_k[self.pair_bloom[links]] >= 2
+            )
+            links = links[alive]
+            owner = owner[alive]
+            if not len(links):
+                return
+            # Pass 1 — detach.  A pair with both endpoints in the batch
+            # appears twice in `links`; np.unique counts it once (exactly the
+            # "twin already severed" skip of the scalar algorithm).
+            twin = np.where(
+                self.pair_e1[links] == owner, self.pair_e2[links], self.pair_e1[links]
+            )
+            removed_pairs = np.unique(links)
+            touched, c_removed = np.unique(
+                self.pair_bloom[removed_pairs], return_counts=True
+            )
+            # Losses are accumulated sparsely — (edge, amount) fragments —
+            # so a batch only ever touches O(affected) memory, never O(m).
+            loss_edges: List[np.ndarray] = []
+            loss_values: List[np.ndarray] = []
+            external = ~in_batch[twin]
+            if external.any():
+                loss_edges.append(twin[external])
+                loss_values.append(
+                    self.bloom_k[self.pair_bloom[links[external]]] - 1
+                )
+            self.pair_alive[removed_pairs] = False
+            # Pass 2 — every surviving pair of a touched bloom charges both
+            # of its edges the bloom's removed-pair count C(B*).
+            pairs_g, bloom_of_g = _gather_rows(self.b_indptr, self.b_pair, touched)
+            if len(pairs_g):
+                surviving = self.pair_alive[pairs_g]
+                pairs_s = pairs_g[surviving]
+                # `touched` is sorted (np.unique), so the bloom -> C(B*)
+                # lookup is a searchsorted, not an O(num_blooms) scatter.
+                charge_s = c_removed[
+                    np.searchsorted(touched, bloom_of_g[surviving])
+                ]
+                loss_edges.append(self.pair_e1[pairs_s])
+                loss_values.append(charge_s)
+                loss_edges.append(self.pair_e2[pairs_s])
+                loss_values.append(charge_s)
+            self.bloom_k[touched] -= c_removed
+            # Apply the accumulated losses, floored at the batch minimum.
+            if loss_edges:
+                edges_cat = np.concatenate(loss_edges)
+                values_cat = np.concatenate(loss_values)
+                changed, inverse = np.unique(edges_cat, return_inverse=True)
+                totals = np.zeros(len(changed), dtype=np.int64)
+                np.add.at(totals, inverse, values_cat)
+                new_values = np.maximum(mbs, self.support[changed] - totals)
+                moved = new_values != self.support[changed]
+                self.support[changed] = new_values
+                for edge, value in zip(
+                    changed[moved].tolist(), new_values[moved].tolist()
+                ):
+                    queue.update(edge, value)
+                    if counter is not None:
+                        counter.record(edge)
+        finally:
+            in_batch[batch_arr] = False

@@ -40,17 +40,25 @@ def butterfly_counts_per_vertex(
         raise ValueError("layer must be 'upper' or 'lower'")
     if layer == "upper":
         n = graph.num_upper
-        neighbors = graph.neighbors_of_upper
-        other_neighbors = graph.neighbors_of_lower
+        neighbors = [
+            graph.neighbors_of_upper(u).tolist() for u in range(graph.num_upper)
+        ]
+        other_neighbors = [
+            graph.neighbors_of_lower(v).tolist() for v in range(graph.num_lower)
+        ]
     else:
         n = graph.num_lower
-        neighbors = graph.neighbors_of_lower
-        other_neighbors = graph.neighbors_of_upper
+        neighbors = [
+            graph.neighbors_of_lower(v).tolist() for v in range(graph.num_lower)
+        ]
+        other_neighbors = [
+            graph.neighbors_of_upper(u).tolist() for u in range(graph.num_upper)
+        ]
     counts = np.zeros(n, dtype=np.int64)
     for u in range(n):
         common: Dict[int, int] = {}
-        for v in neighbors(u):
-            for w in other_neighbors(v):
+        for v in neighbors[u]:
+            for w in other_neighbors[v]:
                 if w != u:
                     common[w] = common.get(w, 0) + 1
         counts[u] = sum(c * (c - 1) // 2 for c in common.values())
@@ -77,15 +85,21 @@ def tip_decomposition(
 
     if layer == "upper":
         adj: List[Set[int]] = [
-            set(graph.neighbors_of_upper(u)) for u in range(graph.num_upper)
+            set(graph.neighbors_of_upper(u).tolist())
+            for u in range(graph.num_upper)
         ]
         other_adj: List[Set[int]] = [
-            set(graph.neighbors_of_lower(v)) for v in range(graph.num_lower)
+            set(graph.neighbors_of_lower(v).tolist())
+            for v in range(graph.num_lower)
         ]
     else:
-        adj = [set(graph.neighbors_of_lower(v)) for v in range(graph.num_lower)]
+        adj = [
+            set(graph.neighbors_of_lower(v).tolist())
+            for v in range(graph.num_lower)
+        ]
         other_adj = [
-            set(graph.neighbors_of_upper(u)) for u in range(graph.num_upper)
+            set(graph.neighbors_of_upper(u).tolist())
+            for u in range(graph.num_upper)
         ]
 
     queue = BucketQueue.from_keys(counts)

@@ -1,10 +1,26 @@
-"""The core bipartite-graph structure.
+"""The core bipartite-graph structure, CSR-backed.
 
 Vertices live in two disjoint layers: *upper* vertices ``0 .. n_u - 1`` and
 *lower* vertices ``0 .. n_l - 1``, each in its own id space.  Edges connect an
 upper vertex to a lower vertex and carry dense integer ids ``0 .. m - 1``; all
 per-edge algorithm state (butterfly supports, bitruss numbers, queue keys) is
 stored in arrays indexed by edge id.
+
+Memory layout
+-------------
+The graph is stored in **compressed sparse row (CSR)** form — the adjacency-
+array representation the paper assumes for its ``O(Σ min(d(u), d(v)) + ⋈G)``
+bounds.  Three parallel ``int64`` arrays describe each layer's adjacency::
+
+    indptr  : length n + 1, row i spans indptr[i] .. indptr[i + 1]
+    indices : neighbour ids, concatenated row by row
+    edge_ids: edge id of each (vertex, neighbour) slot, parallel to indices
+
+All arrays are built **once**, vectorized, at construction and are exposed
+read-only; neighbour accessors return zero-copy slices of them.  The legacy
+list-of-lists view (:meth:`BipartiteGraph.adjacency_by_gid`) is a cached
+compatibility view *derived from* the CSR arrays — no algorithm module builds
+its own adjacency copy.
 
 Global ids
 ----------
@@ -26,23 +42,56 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
+from repro.utils.priority import vertex_priorities
+
 Edge = Tuple[int, int]
+
+#: ``(indptr, indices, edge_ids)`` — one CSR adjacency block.
+CSR = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _freeze(*arrays: np.ndarray) -> None:
+    """Mark shared CSR arrays read-only so zero-copy views are safe."""
+    for arr in arrays:
+        arr.flags.writeable = False
 
 
 class BipartiteGraph:
     """An undirected bipartite graph with dense vertex and edge ids.
 
+    The graph is immutable: upper/lower adjacency is stored as
+    ``indptr``/``indices``/``edge_ids`` numpy arrays (CSR) built once at
+    construction, and every accessor below is either a zero-copy slice of
+    those arrays or a cached view derived from them.
+
     Parameters
     ----------
-    num_upper, num_lower:
+    num_upper, num_lower : int
         Sizes of the two vertex layers.
-    edges:
-        Iterable of ``(u, v)`` pairs with ``0 <= u < num_upper`` and
+    edges : iterable of (int, int) pairs, or an ``(m, 2)`` ndarray
+        ``(u, v)`` pairs with ``0 <= u < num_upper`` and
         ``0 <= v < num_lower``.  Edge ids are assigned in iteration order.
-    dedup:
+    dedup : bool, optional
         When ``True``, silently drop duplicate ``(u, v)`` pairs (bipartite
-        interaction data frequently repeats edges); when ``False``,
+        interaction data frequently repeats edges); when ``False`` (default),
         duplicates raise :class:`ValueError`.
+
+    Raises
+    ------
+    ValueError
+        On negative layer sizes, endpoints out of range, or (with
+        ``dedup=False``) duplicate edges.
+
+    Examples
+    --------
+    >>> g = BipartiteGraph(2, 3, [(0, 0), (0, 1), (1, 0)])
+    >>> g.num_edges
+    3
+    >>> g.neighbors_of_upper(0).tolist()
+    [0, 1]
+    >>> indptr, indices, eids = g.csr_upper()
+    >>> indices[indptr[0]:indptr[1]].tolist()
+    [0, 1]
     """
 
     def __init__(
@@ -58,41 +107,84 @@ class BipartiteGraph:
         self._n_u = int(num_upper)
         self._n_l = int(num_lower)
 
-        edge_index: Dict[Edge, int] = {}
-        edge_u: List[int] = []
-        edge_v: List[int] = []
-        for u, v in edges:
-            u = int(u)
-            v = int(v)
-            if not (0 <= u < self._n_u):
-                raise ValueError(f"upper endpoint {u} out of range [0, {self._n_u})")
-            if not (0 <= v < self._n_l):
-                raise ValueError(f"lower endpoint {v} out of range [0, {self._n_l})")
-            if (u, v) in edge_index:
-                if dedup:
-                    continue
-                raise ValueError(f"duplicate edge ({u}, {v})")
-            edge_index[(u, v)] = len(edge_u)
-            edge_u.append(u)
-            edge_v.append(v)
+        if isinstance(edges, np.ndarray):
+            # Always copy: a zero-copy view here would alias caller-owned
+            # memory into the (immutable, frozen) graph.
+            pairs = np.array(edges, dtype=np.int64, copy=True).reshape(-1, 2)
+        else:
+            listed = list(edges)
+            pairs = (
+                np.asarray(listed, dtype=np.int64).reshape(-1, 2)
+                if listed
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        edge_u = np.ascontiguousarray(pairs[:, 0])
+        edge_v = np.ascontiguousarray(pairs[:, 1])
 
-        self._edge_index = edge_index
-        self._edge_u = np.asarray(edge_u, dtype=np.int64)
-        self._edge_v = np.asarray(edge_v, dtype=np.int64)
+        if edge_u.size:
+            bad_u = (edge_u < 0) | (edge_u >= self._n_u)
+            if bad_u.any():
+                offender = int(edge_u[int(np.argmax(bad_u))])
+                raise ValueError(
+                    f"upper endpoint {offender} out of range [0, {self._n_u})"
+                )
+            bad_v = (edge_v < 0) | (edge_v >= self._n_l)
+            if bad_v.any():
+                offender = int(edge_v[int(np.argmax(bad_v))])
+                raise ValueError(
+                    f"lower endpoint {offender} out of range [0, {self._n_l})"
+                )
+            # Duplicate detection on the linearized (u, v) codes.  m > 0
+            # implies n_l >= 1 (the range check above), so the code is exact.
+            codes = edge_u * self._n_l + edge_v
+            _unique, first = np.unique(codes, return_index=True)
+            if len(first) != len(codes):
+                if not dedup:
+                    mask = np.ones(len(codes), dtype=bool)
+                    mask[first] = False
+                    dup = int(np.argmax(mask))
+                    raise ValueError(
+                        f"duplicate edge ({int(edge_u[dup])}, {int(edge_v[dup])})"
+                    )
+                keep = np.sort(first)  # first occurrences, original order
+                edge_u = edge_u[keep]
+                edge_v = edge_v[keep]
 
-        self._adj_upper: List[List[int]] = [[] for _ in range(self._n_u)]
-        self._adj_lower: List[List[int]] = [[] for _ in range(self._n_l)]
-        # Parallel edge-id lists, so a neighbour scan also yields edge ids.
-        self._adj_upper_eids: List[List[int]] = [[] for _ in range(self._n_u)]
-        self._adj_lower_eids: List[List[int]] = [[] for _ in range(self._n_l)]
-        for eid in range(len(edge_u)):
-            u = edge_u[eid]
-            v = edge_v[eid]
-            self._adj_upper[u].append(v)
-            self._adj_upper_eids[u].append(eid)
-            self._adj_lower[v].append(u)
-            self._adj_lower_eids[v].append(eid)
+        self._edge_u = edge_u
+        self._edge_v = edge_v
 
+        # Per-layer CSR.  A stable argsort on the endpoint keeps each row's
+        # slots in edge-id order, matching the historical append order.
+        m = edge_u.shape[0]
+        order_u = np.argsort(edge_u, kind="stable")
+        self._up_indptr = np.zeros(self._n_u + 1, dtype=np.int64)
+        np.cumsum(np.bincount(edge_u, minlength=self._n_u), out=self._up_indptr[1:])
+        self._up_eids = order_u
+        self._up_nbrs = edge_v[order_u]
+
+        order_l = np.argsort(edge_v, kind="stable")
+        self._lo_indptr = np.zeros(self._n_l + 1, dtype=np.int64)
+        np.cumsum(np.bincount(edge_v, minlength=self._n_l), out=self._lo_indptr[1:])
+        self._lo_eids = order_l
+        self._lo_nbrs = edge_u[order_l]
+
+        _freeze(
+            self._edge_u,
+            self._edge_v,
+            self._up_indptr,
+            self._up_nbrs,
+            self._up_eids,
+            self._lo_indptr,
+            self._lo_nbrs,
+            self._lo_eids,
+        )
+
+        # Lazily-built caches, all derived from the CSR arrays above.
+        self._edge_index: Optional[Dict[Edge, int]] = None
+        self._gid_csr: Optional[CSR] = None
+        self._gid_csr_sorted: Optional[CSR] = None
+        self._gid_sorted_prios: Optional[np.ndarray] = None
+        self._prio: Optional[np.ndarray] = None
         self._gid_adj: Optional[List[List[int]]] = None
         self._gid_adj_eids: Optional[List[List[int]]] = None
 
@@ -128,74 +220,293 @@ class BipartiteGraph:
 
     @property
     def edge_upper(self) -> np.ndarray:
-        """Array of upper endpoints indexed by edge id."""
+        """Read-only ``int64`` array of upper endpoints indexed by edge id."""
         return self._edge_u
 
     @property
     def edge_lower(self) -> np.ndarray:
-        """Array of lower endpoints indexed by edge id."""
+        """Read-only ``int64`` array of lower endpoints indexed by edge id."""
         return self._edge_v
 
     def edge_endpoints(self, eid: int) -> Edge:
-        """Return ``(u, v)`` for edge id ``eid``."""
+        """Return the endpoints of one edge.
+
+        Parameters
+        ----------
+        eid : int
+            Edge id in ``[0, m)``.
+
+        Returns
+        -------
+        tuple of (int, int)
+            The ``(u, v)`` pair of edge ``eid``.
+
+        Examples
+        --------
+        >>> BipartiteGraph(2, 2, [(1, 0)]).edge_endpoints(0)
+        (1, 0)
+        """
         return int(self._edge_u[eid]), int(self._edge_v[eid])
 
+    def _index(self) -> Dict[Edge, int]:
+        """The lazily-built ``(u, v) -> edge id`` dictionary."""
+        if self._edge_index is None:
+            self._edge_index = {
+                (u, v): eid
+                for eid, (u, v) in enumerate(
+                    zip(self._edge_u.tolist(), self._edge_v.tolist())
+                )
+            }
+        return self._edge_index
+
     def edge_id(self, u: int, v: int) -> int:
-        """Return the edge id of ``(u, v)``; raises ``KeyError`` if absent."""
-        return self._edge_index[(u, v)]
+        """Return the edge id of ``(u, v)``.
+
+        Parameters
+        ----------
+        u, v : int
+            Upper and lower endpoint.
+
+        Returns
+        -------
+        int
+            The dense edge id.
+
+        Raises
+        ------
+        KeyError
+            If the edge is absent.
+
+        Examples
+        --------
+        >>> BipartiteGraph(2, 2, [(0, 1), (1, 1)]).edge_id(1, 1)
+        1
+        """
+        return self._index()[(int(u), int(v))]
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Return ``True`` if the edge ``(u, v)`` exists."""
-        return (u, v) in self._edge_index
+        """Return ``True`` if the edge ``(u, v)`` exists.
+
+        Examples
+        --------
+        >>> BipartiteGraph(1, 1, [(0, 0)]).has_edge(0, 0)
+        True
+        """
+        return (int(u), int(v)) in self._index()
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over ``(u, v)`` pairs in edge-id order."""
-        for eid in range(self.num_edges):
-            yield int(self._edge_u[eid]), int(self._edge_v[eid])
+        """Iterate over ``(u, v)`` pairs in edge-id order.
+
+        Yields
+        ------
+        tuple of (int, int)
+            One endpoint pair per edge, ordered by edge id.
+        """
+        yield from zip(self._edge_u.tolist(), self._edge_v.tolist())
+
+    # ----------------------------------------------------------- CSR access
+
+    def csr_upper(self) -> CSR:
+        """CSR adjacency of the upper layer.
+
+        Returns
+        -------
+        tuple of numpy.ndarray
+            ``(indptr, indices, edge_ids)`` — row ``u`` spans
+            ``indptr[u]:indptr[u + 1]``; ``indices`` holds lower-layer
+            neighbour ids and ``edge_ids`` the parallel edge ids.  The
+            arrays are shared and read-only (zero-copy).
+        """
+        return self._up_indptr, self._up_nbrs, self._up_eids
+
+    def csr_lower(self) -> CSR:
+        """CSR adjacency of the lower layer.
+
+        Returns
+        -------
+        tuple of numpy.ndarray
+            ``(indptr, indices, edge_ids)`` with upper-layer neighbour ids;
+            shared and read-only (zero-copy).
+        """
+        return self._lo_indptr, self._lo_nbrs, self._lo_eids
+
+    def csr_gid(self) -> CSR:
+        """CSR adjacency over *global* vertex ids.
+
+        Rows ``0 .. n_l - 1`` are the lower layer (neighbours are upper gids
+        ``n_l + u``); rows ``n_l .. n_l + n_u - 1`` are the upper layer
+        (neighbours are lower gids ``v``).  Built once from the per-layer
+        CSR blocks and cached; the wedge-processing algorithms are written
+        against this layout.
+
+        Returns
+        -------
+        tuple of numpy.ndarray
+            ``(indptr, indices, edge_ids)``, shared and read-only.
+        """
+        if self._gid_csr is None:
+            indptr = np.concatenate(
+                (self._lo_indptr, self._lo_indptr[-1] + self._up_indptr[1:])
+            )
+            indices = np.concatenate((self._lo_nbrs + self._n_l, self._up_nbrs))
+            eids = np.concatenate((self._lo_eids, self._up_eids))
+            _freeze(indptr, indices, eids)
+            self._gid_csr = (indptr, indices, eids)
+        return self._gid_csr
+
+    def priorities(self) -> np.ndarray:
+        """The Definition 7 vertex ranking, computed once and cached.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``prio[g]`` is the 1-based priority of global vertex ``g``
+            (higher degree wins, ties broken by global id); read-only.
+        """
+        if self._prio is None:
+            prio = vertex_priorities(self.degrees())
+            _freeze(prio)
+            self._prio = prio
+        return self._prio
+
+    def csr_gid_sorted(self, priorities: Optional[np.ndarray] = None) -> CSR:
+        """Global-id CSR with every row sorted by ascending neighbour priority.
+
+        Priority-sorted rows turn the "priority < p(start)" filters of the
+        counting/indexing traversals into prefix lookups
+        (``np.searchsorted``) instead of boolean masks.  The default-priority
+        variant is built once (one ``np.lexsort`` over all slots) and cached.
+
+        Parameters
+        ----------
+        priorities : numpy.ndarray, optional
+            A custom Definition 7 ranking; when omitted the graph's own
+            cached :meth:`priorities` are used and the result is cached too.
+
+        Returns
+        -------
+        tuple of numpy.ndarray
+            ``(indptr, indices, edge_ids)`` — same ``indptr`` object as
+            :meth:`csr_gid`, with ``indices``/``edge_ids`` permuted row-wise.
+        """
+        custom = priorities is not None
+        if not custom and self._gid_csr_sorted is not None:
+            return self._gid_csr_sorted
+        indptr, indices, eids = self.csr_gid()
+        prio = np.asarray(priorities) if custom else self.priorities()
+        rows = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(indptr)
+        )
+        # Stable two-key sort: primary row, secondary neighbour priority.
+        order = np.lexsort((prio[indices], rows))
+        sorted_csr = (indptr, indices[order], eids[order])
+        if not custom:
+            _freeze(sorted_csr[1], sorted_csr[2])
+            self._gid_csr_sorted = sorted_csr
+        return sorted_csr
+
+    def csr_gid_sorted_with_prios(
+        self, priorities: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`csr_gid_sorted` plus the per-slot neighbour priorities.
+
+        The traversals all need ``prio[indices]`` (one gather over all
+        ``2m`` CSR slots) next to the sorted CSR; for the default ranking it
+        is computed once and cached alongside the sorted arrays.
+
+        Parameters
+        ----------
+        priorities : numpy.ndarray, optional
+            A custom Definition 7 ranking; when omitted the cached default
+            is used.
+
+        Returns
+        -------
+        tuple of numpy.ndarray
+            ``(indptr, indices, edge_ids, row_prios)`` with
+            ``row_prios[slot]`` the priority of ``indices[slot]``.
+        """
+        custom = priorities is not None
+        indptr, indices, eids = self.csr_gid_sorted(priorities)
+        if custom:
+            return indptr, indices, eids, np.asarray(priorities)[indices]
+        if self._gid_sorted_prios is None:
+            row_prios = self.priorities()[indices]
+            _freeze(row_prios)
+            self._gid_sorted_prios = row_prios
+        return indptr, indices, eids, self._gid_sorted_prios
 
     # ------------------------------------------------------------- adjacency
 
-    def neighbors_of_upper(self, u: int) -> List[int]:
-        """Lower-layer neighbours of upper vertex ``u``."""
-        return self._adj_upper[u]
+    def neighbors_of_upper(self, u: int) -> np.ndarray:
+        """Lower-layer neighbours of upper vertex ``u``.
 
-    def neighbors_of_lower(self, v: int) -> List[int]:
-        """Upper-layer neighbours of lower vertex ``v``."""
-        return self._adj_lower[v]
+        Returns
+        -------
+        numpy.ndarray
+            Zero-copy, read-only slice of the upper CSR ``indices`` array.
+        """
+        return self._up_nbrs[self._up_indptr[u] : self._up_indptr[u + 1]]
 
-    def edges_of_upper(self, u: int) -> List[int]:
-        """Edge ids incident to upper vertex ``u`` (parallel to neighbours)."""
-        return self._adj_upper_eids[u]
+    def neighbors_of_lower(self, v: int) -> np.ndarray:
+        """Upper-layer neighbours of lower vertex ``v``.
 
-    def edges_of_lower(self, v: int) -> List[int]:
-        """Edge ids incident to lower vertex ``v`` (parallel to neighbours)."""
-        return self._adj_lower_eids[v]
+        Returns
+        -------
+        numpy.ndarray
+            Zero-copy, read-only slice of the lower CSR ``indices`` array.
+        """
+        return self._lo_nbrs[self._lo_indptr[v] : self._lo_indptr[v + 1]]
+
+    def edges_of_upper(self, u: int) -> np.ndarray:
+        """Edge ids incident to upper vertex ``u`` (parallel to neighbours).
+
+        Returns
+        -------
+        numpy.ndarray
+            Zero-copy, read-only slice of the upper CSR ``edge_ids`` array.
+        """
+        return self._up_eids[self._up_indptr[u] : self._up_indptr[u + 1]]
+
+    def edges_of_lower(self, v: int) -> np.ndarray:
+        """Edge ids incident to lower vertex ``v`` (parallel to neighbours).
+
+        Returns
+        -------
+        numpy.ndarray
+            Zero-copy, read-only slice of the lower CSR ``edge_ids`` array.
+        """
+        return self._lo_eids[self._lo_indptr[v] : self._lo_indptr[v + 1]]
 
     def degree_upper(self, u: int) -> int:
         """Degree of upper vertex ``u``."""
-        return len(self._adj_upper[u])
+        return int(self._up_indptr[u + 1] - self._up_indptr[u])
 
     def degree_lower(self, v: int) -> int:
         """Degree of lower vertex ``v``."""
-        return len(self._adj_lower[v])
+        return int(self._lo_indptr[v + 1] - self._lo_indptr[v])
 
     def degrees(self) -> np.ndarray:
-        """Degrees of all vertices indexed by global id."""
-        deg = np.zeros(self.num_vertices, dtype=np.int64)
-        for v in range(self._n_l):
-            deg[v] = len(self._adj_lower[v])
-        for u in range(self._n_u):
-            deg[self._n_l + u] = len(self._adj_upper[u])
-        return deg
+        """Degrees of all vertices indexed by global id.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` array of length ``num_vertices``: lower-layer degrees
+            first (gids ``0 .. n_l - 1``), then upper-layer degrees.
+        """
+        return np.concatenate(
+            (np.diff(self._lo_indptr), np.diff(self._up_indptr))
+        )
 
     # ------------------------------------------------------------ global ids
 
     def gid_of_upper(self, u: int) -> int:
-        """Global id of upper vertex ``u``."""
+        """Global id of upper vertex ``u`` (``n_l + u``)."""
         return self._n_l + u
 
     def gid_of_lower(self, v: int) -> int:
-        """Global id of lower vertex ``v``."""
+        """Global id of lower vertex ``v`` (``v``)."""
         return v
 
     def is_upper_gid(self, gid: int) -> bool:
@@ -207,24 +518,34 @@ class BipartiteGraph:
         return gid - self._n_l
 
     def adjacency_by_gid(self) -> Tuple[List[List[int]], List[List[int]]]:
-        """Return ``(adj, adj_eids)`` indexed by global vertex id.
+        """Legacy list-of-lists adjacency view over global vertex ids.
 
-        ``adj[g]`` lists neighbour global ids of vertex ``g`` and
-        ``adj_eids[g]`` the parallel edge ids.  Built once and cached; the
-        wedge-processing algorithms are written against this view.
+        This is a thin compatibility view for the scalar reference
+        traversals: it is materialized **once** from the gid CSR arrays
+        (plain Python ints iterate faster than boxed numpy scalars in
+        pure-Python inner loops) and cached on the graph, so no caller ever
+        builds its own adjacency copy.
+
+        Returns
+        -------
+        tuple of (list of list of int, list of list of int)
+            ``(adj, adj_eids)`` indexed by global vertex id: ``adj[g]``
+            lists neighbour gids of vertex ``g`` and ``adj_eids[g]`` the
+            parallel edge ids.
         """
         if self._gid_adj is None:
-            n_l = self._n_l
-            adj: List[List[int]] = [[] for _ in range(self.num_vertices)]
-            adj_eids: List[List[int]] = [[] for _ in range(self.num_vertices)]
-            for v in range(n_l):
-                adj[v] = [n_l + u for u in self._adj_lower[v]]
-                adj_eids[v] = list(self._adj_lower_eids[v])
-            for u in range(self._n_u):
-                adj[n_l + u] = list(self._adj_upper[u])
-                adj_eids[n_l + u] = list(self._adj_upper_eids[u])
-            self._gid_adj = adj
-            self._gid_adj_eids = adj_eids
+            indptr, indices, eids = self.csr_gid()
+            bounds = indptr.tolist()
+            flat_adj = indices.tolist()
+            flat_eids = eids.tolist()
+            self._gid_adj = [
+                flat_adj[bounds[g] : bounds[g + 1]]
+                for g in range(self.num_vertices)
+            ]
+            self._gid_adj_eids = [
+                flat_eids[bounds[g] : bounds[g + 1]]
+                for g in range(self.num_vertices)
+            ]
         assert self._gid_adj_eids is not None
         return self._gid_adj, self._gid_adj_eids
 
@@ -235,13 +556,31 @@ class BipartiteGraph:
     ) -> Tuple["BipartiteGraph", np.ndarray]:
         """Edge-induced subgraph, keeping the original vertex id spaces.
 
-        Returns ``(subgraph, orig_eids)`` where ``orig_eids[new_eid]`` maps a
-        subgraph edge id back to this graph's edge id.  Vertex ids are *not*
-        relabelled, so vertex-level results transfer directly; vertices
-        untouched by the edge subset simply become isolated.
+        Parameters
+        ----------
+        edge_ids : sequence of int
+            Edge ids of this graph; duplicates are dropped and the subgraph
+            keeps them in ascending original-id order.
+
+        Returns
+        -------
+        tuple of (BipartiteGraph, numpy.ndarray)
+            ``(subgraph, orig_eids)`` where ``orig_eids[new_eid]`` maps a
+            subgraph edge id back to this graph's edge id.  Vertex ids are
+            *not* relabelled, so vertex-level results transfer directly;
+            vertices untouched by the edge subset simply become isolated.
+
+        Examples
+        --------
+        >>> g = BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 1)])
+        >>> sub, orig = g.subgraph_from_edge_ids([2, 0])
+        >>> orig.tolist()
+        [0, 2]
         """
-        edge_ids = np.asarray(sorted(set(int(e) for e in edge_ids)), dtype=np.int64)
-        pairs = [(int(self._edge_u[e]), int(self._edge_v[e])) for e in edge_ids]
+        edge_ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        pairs = np.stack(
+            (self._edge_u[edge_ids], self._edge_v[edge_ids]), axis=1
+        )
         sub = BipartiteGraph(self._n_u, self._n_l, pairs)
         return sub, edge_ids
 
@@ -254,44 +593,95 @@ class BipartiteGraph:
     ) -> "BipartiteGraph":
         """Vertex-induced subgraph (used by the Fig. 12 sampling experiment).
 
-        When ``relabel`` is true (default) the kept vertices are renumbered
-        densely in ascending order of their original id.
+        Parameters
+        ----------
+        upper_subset, lower_subset : iterable of int
+            Vertices to keep in each layer.
+        relabel : bool, optional
+            When true (default) the kept vertices are renumbered densely in
+            ascending order of their original id.
+
+        Returns
+        -------
+        BipartiteGraph
+            The subgraph induced by the kept vertices; the edge-membership
+            filter is evaluated vectorized over the edge-endpoint arrays.
         """
-        upper_set = set(int(u) for u in upper_subset)
-        lower_set = set(int(v) for v in lower_subset)
-        kept = [
-            (u, v)
-            for u, v in self.edges()
-            if u in upper_set and v in lower_set
-        ]
+        upper_ids = np.unique(np.asarray(list(upper_subset), dtype=np.int64))
+        lower_ids = np.unique(np.asarray(list(lower_subset), dtype=np.int64))
+        mask_u = np.zeros(self._n_u, dtype=bool)
+        mask_u[upper_ids[(upper_ids >= 0) & (upper_ids < self._n_u)]] = True
+        mask_l = np.zeros(self._n_l, dtype=bool)
+        mask_l[lower_ids[(lower_ids >= 0) & (lower_ids < self._n_l)]] = True
+        keep = mask_u[self._edge_u] & mask_l[self._edge_v]
+        kept_u = self._edge_u[keep]
+        kept_v = self._edge_v[keep]
         if not relabel:
-            return BipartiteGraph(self._n_u, self._n_l, kept)
-        upper_map = {u: i for i, u in enumerate(sorted(upper_set))}
-        lower_map = {v: i for i, v in enumerate(sorted(lower_set))}
-        relabelled = [(upper_map[u], lower_map[v]) for u, v in kept]
-        return BipartiteGraph(len(upper_map), len(lower_map), relabelled)
+            return BipartiteGraph(
+                self._n_u, self._n_l, np.stack((kept_u, kept_v), axis=1)
+            )
+        remap_u = np.zeros(max(self._n_u, int(upper_ids.max()) + 1 if len(upper_ids) else 0), dtype=np.int64)
+        remap_u[upper_ids] = np.arange(len(upper_ids))
+        remap_l = np.zeros(max(self._n_l, int(lower_ids.max()) + 1 if len(lower_ids) else 0), dtype=np.int64)
+        remap_l[lower_ids] = np.arange(len(lower_ids))
+        relabelled = np.stack((remap_u[kept_u], remap_l[kept_v]), axis=1)
+        return BipartiteGraph(len(upper_ids), len(lower_ids), relabelled)
 
     # -------------------------------------------------------------- exports
 
     def to_edge_list(self) -> List[Edge]:
-        """Return the edges as a list of ``(u, v)`` pairs."""
+        """Return the edges as a list of ``(u, v)`` pairs in edge-id order."""
         return list(self.edges())
 
     def copy(self) -> "BipartiteGraph":
-        """Return a structural copy (fresh adjacency, same edge ids)."""
-        return BipartiteGraph(self._n_u, self._n_l, self.edges())
+        """Return a structural copy (fresh CSR arrays, same edge ids)."""
+        return BipartiteGraph(
+            self._n_u,
+            self._n_l,
+            np.stack((self._edge_u, self._edge_v), axis=1),
+        )
 
     def validate(self) -> None:
-        """Internal-consistency check used by tests and IO round-trips."""
-        if len(self._edge_index) != self.num_edges:
+        """Internal-consistency check used by tests and IO round-trips.
+
+        Raises
+        ------
+        AssertionError
+            If the edge index, CSR blocks, and endpoint arrays disagree.
+        """
+        if len(self._index()) != self.num_edges:
             raise AssertionError("edge index size mismatch")
         for eid, (u, v) in enumerate(self.edges()):
-            if self._edge_index[(u, v)] != eid:
+            if self._index()[(u, v)] != eid:
                 raise AssertionError(f"edge index broken at {eid}")
-        deg_sum_u = sum(len(a) for a in self._adj_upper)
-        deg_sum_l = sum(len(a) for a in self._adj_lower)
-        if deg_sum_u != self.num_edges or deg_sum_l != self.num_edges:
-            raise AssertionError("adjacency/edge count mismatch")
+        for indptr, eids, label in (
+            (self._up_indptr, self._up_eids, "upper"),
+            (self._lo_indptr, self._lo_eids, "lower"),
+        ):
+            if int(indptr[-1]) != self.num_edges:
+                raise AssertionError(f"{label} CSR/edge count mismatch")
+            if (np.diff(indptr) < 0).any():
+                raise AssertionError(f"{label} indptr not monotone")
+            if len(np.unique(eids)) != self.num_edges:
+                raise AssertionError(f"{label} CSR edge ids not a permutation")
+        # Endpoint consistency: each upper-CSR slot (u, nbrs[slot]) must be
+        # the endpoints of eids[slot].
+        rows_u = np.repeat(
+            np.arange(self._n_u, dtype=np.int64), np.diff(self._up_indptr)
+        )
+        if not (
+            np.array_equal(self._edge_u[self._up_eids], rows_u)
+            and np.array_equal(self._edge_v[self._up_eids], self._up_nbrs)
+        ):
+            raise AssertionError("upper CSR disagrees with edge endpoints")
+        rows_l = np.repeat(
+            np.arange(self._n_l, dtype=np.int64), np.diff(self._lo_indptr)
+        )
+        if not (
+            np.array_equal(self._edge_v[self._lo_eids], rows_l)
+            and np.array_equal(self._edge_u[self._lo_eids], self._lo_nbrs)
+        ):
+            raise AssertionError("lower CSR disagrees with edge endpoints")
 
 
 class LabelMap:
@@ -300,6 +690,14 @@ class LabelMap:
     Used by IO and the application modules so that user-facing code can work
     with author names, page urls, product SKUs, etc. while the algorithms see
     dense integers.
+
+    Examples
+    --------
+    >>> lm = LabelMap()
+    >>> lm.intern("alice")
+    0
+    >>> lm.label_of(0)
+    'alice'
     """
 
     def __init__(self) -> None:
@@ -342,8 +740,23 @@ def build_labeled_graph(
 ) -> Tuple[BipartiteGraph, LabelMap, LabelMap]:
     """Build a graph from labelled pairs, returning both label maps.
 
-    ``pairs`` yields ``(upper_label, lower_label)``.  Duplicate interactions
-    are dropped by default (``dedup=True``).
+    Parameters
+    ----------
+    pairs : iterable of (hashable, hashable)
+        ``(upper_label, lower_label)`` interactions.
+    dedup : bool, optional
+        Drop duplicate interactions instead of raising (default ``True``).
+
+    Returns
+    -------
+    tuple of (BipartiteGraph, LabelMap, LabelMap)
+        The graph plus the upper- and lower-layer label maps.
+
+    Examples
+    --------
+    >>> g, upper, lower = build_labeled_graph([("alice", "p1"), ("bob", "p1")])
+    >>> g.has_edge(upper.id_of("bob"), lower.id_of("p1"))
+    True
     """
     upper = LabelMap()
     lower = LabelMap()

@@ -40,8 +40,9 @@ def erdos_renyi_bipartite(
         raise ValueError(f"cannot place {num_edges} edges in a {num_upper}x{num_lower} grid")
     rng = _rng(seed)
     if total <= 4_000_000:
-        flat = rng.choice(total, size=num_edges, replace=False)
-        edges = [(int(f) // num_lower, int(f) % num_lower) for f in flat]
+        flat = rng.choice(total, size=num_edges, replace=False).astype(np.int64)
+        # (m, 2) endpoint array, fed zero-copy to the CSR constructor.
+        edges = np.stack((flat // num_lower, flat % num_lower), axis=1)
     else:
         chosen: Set[Tuple[int, int]] = set()
         while len(chosen) < num_edges:

@@ -24,8 +24,7 @@ from repro.graph.bipartite import BipartiteGraph
 def to_biadjacency(graph: BipartiteGraph) -> np.ndarray:
     """Dense 0/1 biadjacency matrix, rows = upper layer."""
     matrix = np.zeros((graph.num_upper, graph.num_lower), dtype=np.int8)
-    for u, v in graph.edges():
-        matrix[u, v] = 1
+    matrix[graph.edge_upper, graph.edge_lower] = 1
     return matrix
 
 

@@ -19,6 +19,8 @@ import gzip
 from pathlib import Path
 from typing import IO, Iterator, List, Tuple, Union
 
+import numpy as np
+
 from repro.graph.bipartite import BipartiteGraph
 
 PathLike = Union[str, Path]
@@ -67,21 +69,18 @@ def load_edge_list(
         Drop repeated interactions instead of raising (KONECT interaction
         data often contains duplicates).
     """
-    pairs: List[Tuple[int, int]] = []
-    max_u = -1
-    max_v = -1
-    for raw_u, raw_v in iter_edge_lines(path):
-        u = raw_u - base
-        v = raw_v - base
-        if u < 0 or v < 0:
-            raise ValueError(
-                f"{path}: negative id after subtracting base={base}; "
-                "check the file's id base"
-            )
-        pairs.append((u, v))
-        max_u = max(max_u, u)
-        max_v = max(max_v, v)
-    return BipartiteGraph(max_u + 1, max_v + 1, pairs, dedup=dedup)
+    pairs = [pair for pair in iter_edge_lines(path)]
+    if not pairs:
+        return BipartiteGraph(0, 0, ())
+    arr = np.asarray(pairs, dtype=np.int64) - base
+    if (arr < 0).any():
+        raise ValueError(
+            f"{path}: negative id after subtracting base={base}; "
+            "check the file's id base"
+        )
+    num_upper = int(arr[:, 0].max()) + 1
+    num_lower = int(arr[:, 1].max()) + 1
+    return BipartiteGraph(num_upper, num_lower, arr, dedup=dedup)
 
 
 def save_edge_list(

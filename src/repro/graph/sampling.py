@@ -25,7 +25,9 @@ def sample_vertices(
 
     Sampling is per-layer (so a 20% sample keeps ~20% of the upper *and*
     ~20% of the lower vertices), matching the paper's setup of sampling
-    vertices of the original graphs.
+    vertices of the original graphs.  The induced-subgraph filter is a
+    vectorized mask over the graph's edge-endpoint arrays, so sampling a
+    million-edge graph costs one boolean pass, not an edge-by-edge walk.
     """
     if not (0.0 < fraction <= 1.0):
         raise ValueError("fraction must be in (0, 1]")

@@ -38,8 +38,8 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
+from repro.butterfly.counting import collect_wedges
 from repro.graph.bipartite import BipartiteGraph
-from repro.utils.priority import vertex_priorities
 from repro.utils.stats import UpdateCounter
 
 
@@ -91,6 +91,18 @@ class BEIndex:
     butterfly-support array ``support`` (length = number of edges of the
     indexed graph) which the peeling algorithms read and mutate through the
     removal operations below.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import planted_bloom
+    >>> index = BEIndex.build(planted_bloom(3))   # one 3-bloom, C(3,2) = 3
+    >>> index.size_components()
+    (1, 6, 6)
+    >>> index.support.tolist()
+    [2, 2, 2, 2, 2, 2]
+    >>> index.remove_edge(0)                      # Algorithm 2
+    >>> index.num_indexed_edges
+    4
     """
 
     def __init__(
@@ -119,24 +131,42 @@ class BEIndex:
 
         Parameters
         ----------
-        graph:
+        graph : BipartiteGraph
             The (sub)graph to index.
-        priorities:
+        priorities : numpy.ndarray, optional
             Optional precomputed Definition 7 ranking.
-        assigned:
+        assigned : numpy.ndarray, optional
             Optional boolean mask over edge ids.  When given, construction is
             the *compressed* variant of Algorithm 6: wedges of assigned edges
             still count towards bloom sizes (so unassigned supports stay
             correct), but assigned edges are not inserted into ``L(I)`` and
             carry no links — peeling never touches them.
 
-        The per-edge supports are computed as a by-product of the same wedge
-        traversal (each wedge of a ``k``-wedge anchor contributes ``k − 1``
-        butterflies to each of its two edges), so no separate counting pass
-        over the subgraph is needed.
+        Returns
+        -------
+        BEIndex
+            The index over ``graph``, owning the per-edge ``support`` array.
+
+        Notes
+        -----
+        The traversal runs on the graph's shared priority-sorted CSR
+        (:meth:`~repro.graph.bipartite.BipartiteGraph.csr_gid_sorted`): each
+        "priority < p(start)" filter is a ``searchsorted`` prefix lookup
+        instead of a scan over the whole row.  The per-edge supports are
+        computed as a by-product of the same wedge traversal (each wedge of
+        a ``k``-wedge anchor contributes ``k − 1`` butterflies to each of
+        its two edges), so no separate counting pass is needed.
+
+        Examples
+        --------
+        >>> from repro.graph.generators import planted_bloom
+        >>> BEIndex.build(planted_bloom(3)).num_blooms
+        1
         """
-        adj, adj_eids = graph.adjacency_by_gid()
-        prio = priorities if priorities is not None else vertex_priorities(graph.degrees())
+        prio = priorities if priorities is not None else graph.priorities()
+        indptr, nbr_arr, eid_arr, row_prios = graph.csr_gid_sorted_with_prios(
+            priorities
+        )
         support = np.zeros(graph.num_edges, dtype=np.int64)
 
         blooms: Dict[int, Bloom] = {}
@@ -146,19 +176,15 @@ class BEIndex:
         is_assigned = assigned if assigned is not None else None
 
         for start in range(graph.num_vertices):
-            p_start = prio[start]
-            neighbors = adj[start]
-            if len(neighbors) < 2:
+            wedges = collect_wedges(
+                indptr, nbr_arr, eid_arr, row_prios, prio, start
+            )
+            if wedges is None:
                 continue
             # wedge group per end vertex: list of (middle, e_uv, e_vw)
             groups: Dict[int, List[Tuple[int, int, int]]] = {}
-            for v, e_uv in zip(neighbors, adj_eids[start]):
-                if prio[v] >= p_start:
-                    continue
-                for w, e_vw in zip(adj[v], adj_eids[v]):
-                    if prio[w] >= p_start:
-                        continue
-                    groups.setdefault(w, []).append((v, e_uv, e_vw))
+            for w, v, e_uv, e_vw in wedges:
+                groups.setdefault(w, []).append((v, e_uv, e_vw))
             for end, wedges in groups.items():
                 k = len(wedges)
                 if k < 2:
@@ -201,15 +227,56 @@ class BEIndex:
         return self.num_blooms, self.num_indexed_edges, self.num_links
 
     def blooms_of(self, edge: int) -> List[int]:
-        """Bloom ids currently linked to ``edge`` (``N_I(e)``)."""
+        """Bloom ids currently linked to ``edge`` (``N_I(e)``).
+
+        Parameters
+        ----------
+        edge : int
+            Edge id of the indexed graph.
+
+        Returns
+        -------
+        list of int
+            Ids of the blooms whose live link set contains ``edge``; empty
+            when the edge is unlinked (butterfly-free or already removed).
+        """
         return list(self.edge_blooms.get(edge, ()))
 
     def live_edges(self, bloom: Bloom) -> Iterator[int]:
-        """Edges currently linked to ``bloom`` (``N_I(B*)``)."""
+        """Edges currently linked to ``bloom`` (``N_I(B*)``).
+
+        Parameters
+        ----------
+        bloom : Bloom
+            A bloom of this index.
+
+        Returns
+        -------
+        iterator of int
+            The edge ids with a live link into ``bloom``.
+        """
         return iter(bloom.twin)
 
     def twin_of(self, bloom: Bloom, edge: int) -> int:
-        """``twin(B*, e)`` — the other edge of ``e``'s wedge in the bloom."""
+        """``twin(B*, e)`` — the other edge of ``e``'s wedge in the bloom.
+
+        Parameters
+        ----------
+        bloom : Bloom
+            A bloom of this index.
+        edge : int
+            An edge with a live link into ``bloom``.
+
+        Returns
+        -------
+        int
+            The twin edge id (Definition 9).
+
+        Raises
+        ------
+        KeyError
+            If ``edge`` has no live link into ``bloom``.
+        """
         return bloom.twin[edge]
 
     # ------------------------------------------------------------- removal
@@ -253,7 +320,15 @@ class BEIndex:
         guard); then the bloom shrinks by one wedge.  Finally ``edge`` leaves
         ``L(I)``.
 
-        ``on_change(edge, new_support)`` notifies the caller's peeling queue.
+        Parameters
+        ----------
+        edge : int
+            Edge id to remove; a no-op when the edge holds no live links.
+        counter : UpdateCounter, optional
+            Records one update per support decrement.
+        on_change : callable, optional
+            ``on_change(other_edge, new_support)`` notifies the caller's
+            peeling queue after each support write.
         """
         guard = int(self.support[edge])
         bloom_ids = self.edge_blooms.pop(edge, None)
@@ -305,6 +380,20 @@ class BEIndex:
         A twin that is *assigned* (compressed index) or already detached has
         no live link and is skipped, which is exactly the paper's "if
         ``twin(B*, e)`` is not assigned" condition.
+
+        Parameters
+        ----------
+        edge : int
+            The batch member to detach.
+        removal_counts : dict of int to int
+            Per-bloom removed-pair counters (``C(B*)``), updated in place.
+        floor : int
+            The batch's minimum support ``MBS``; twin updates never drop a
+            support below it (Algorithm 5 line 12).
+        counter : UpdateCounter, optional
+            Records one update per twin support write.
+        on_change : callable, optional
+            ``on_change(twin, new_support)`` queue notification.
         """
         bloom_ids = self.edge_blooms.pop(edge, None)
         if bloom_ids is None:
@@ -350,6 +439,18 @@ class BEIndex:
         ``k − C`` wedges, and each of its surviving live edges loses exactly
         ``C`` butterflies (one per removed wedge), floored at the batch's
         minimum support ``floor``.
+
+        Parameters
+        ----------
+        removal_counts : dict of int to int
+            The ``C(B*)`` counters accumulated by :meth:`detach_edge` over
+            the whole batch.
+        floor : int
+            The batch's minimum support ``MBS`` (Algorithm 5 line 18).
+        counter : UpdateCounter, optional
+            Records one update per surviving-edge support write.
+        on_change : callable, optional
+            ``on_change(edge, new_support)`` queue notification.
         """
         for bloom_id, removed in removal_counts.items():
             bloom = self.blooms.get(bloom_id)
@@ -385,6 +486,15 @@ class BEIndex:
         Unlike pass 1/2 of BiT-BU++, each bloom is re-walked for every batch
         member it contains; the bloom's ``k`` shrinks pair by pair, which
         yields the same totals as the simultaneous-removal formula.
+
+        Parameters
+        ----------
+        edge : int
+            The batch member to remove.
+        deltas : dict of int to int
+            Per-edge accumulated support losses, updated in place.
+        skip : set of int
+            The batch ``S`` itself; members are never charged.
         """
         bloom_ids = self.edge_blooms.pop(edge, None)
         if bloom_ids is None:

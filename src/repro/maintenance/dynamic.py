@@ -50,9 +50,11 @@ class DynamicBipartiteGraph:
     >>> g.support_of(0, 0)
     0
     >>> g.insert_edge(1, 1)   # completes the butterfly
+    1
     >>> g.support_of(0, 0)
     1
     >>> g.delete_edge(0, 1)
+    1
     >>> g.support_of(0, 0)
     0
     """

@@ -1,0 +1,200 @@
+"""CSR layer tests: zero-copy slices, legacy-view agreement, batch peeling.
+
+Covers the two contracts of the CSR refactor:
+
+* the CSR arrays, the zero-copy neighbour slices and the legacy list views
+  all describe the same graph (checked against an independently built
+  adjacency on random graphs);
+* the vectorized batch-peeling engine produces bitwise-identical bitruss
+  numbers to scalar BiT-BU on the fixture suite, through both its
+  vectorized and scalar-fallback paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bit_bu import bit_bu
+from repro.core.bit_bu_batch import bit_bu_csr
+from repro.core.peeling_engine import CSRPeelingEngine
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    affiliation_bipartite,
+    chung_lu_bipartite,
+    erdos_renyi_bipartite,
+    nested_communities,
+)
+from repro.index.be_index import BEIndex
+from tests.conftest import bipartite_graphs
+
+
+def reference_adjacency(graph):
+    """Layer adjacency rebuilt edge by edge, independent of the CSR."""
+    adj_u = [[] for _ in range(graph.num_upper)]
+    eids_u = [[] for _ in range(graph.num_upper)]
+    adj_l = [[] for _ in range(graph.num_lower)]
+    eids_l = [[] for _ in range(graph.num_lower)]
+    for eid, (u, v) in enumerate(graph.edges()):
+        adj_u[u].append(v)
+        eids_u[u].append(eid)
+        adj_l[v].append(u)
+        eids_l[v].append(eid)
+    return adj_u, eids_u, adj_l, eids_l
+
+
+RANDOM_GRAPHS = [
+    erdos_renyi_bipartite(30, 25, 220, seed=99),
+    erdos_renyi_bipartite(1, 40, 40, seed=3),
+    chung_lu_bipartite(60, 60, 400, seed=7),
+    affiliation_bipartite(40, 40, 8, community_upper=6, community_lower=6, seed=2),
+    BipartiteGraph(3, 3, []),
+]
+
+
+class TestCSRAgreesWithLegacyAccessors:
+    @pytest.mark.parametrize("graph", RANDOM_GRAPHS, ids=range(len(RANDOM_GRAPHS)))
+    def test_neighbor_slices_match_reference(self, graph):
+        adj_u, eids_u, adj_l, eids_l = reference_adjacency(graph)
+        for u in range(graph.num_upper):
+            assert graph.neighbors_of_upper(u).tolist() == adj_u[u]
+            assert graph.edges_of_upper(u).tolist() == eids_u[u]
+            assert graph.degree_upper(u) == len(adj_u[u])
+        for v in range(graph.num_lower):
+            assert graph.neighbors_of_lower(v).tolist() == adj_l[v]
+            assert graph.edges_of_lower(v).tolist() == eids_l[v]
+            assert graph.degree_lower(v) == len(adj_l[v])
+
+    @pytest.mark.parametrize("graph", RANDOM_GRAPHS, ids=range(len(RANDOM_GRAPHS)))
+    def test_gid_csr_matches_layer_csr(self, graph):
+        indptr, indices, eids = graph.csr_gid()
+        n_l = graph.num_lower
+        for v in range(n_l):
+            row = slice(indptr[v], indptr[v + 1])
+            assert (indices[row] - n_l).tolist() == graph.neighbors_of_lower(v).tolist()
+            assert eids[row].tolist() == graph.edges_of_lower(v).tolist()
+        for u in range(graph.num_upper):
+            g = n_l + u
+            row = slice(indptr[g], indptr[g + 1])
+            assert indices[row].tolist() == graph.neighbors_of_upper(u).tolist()
+            assert eids[row].tolist() == graph.edges_of_upper(u).tolist()
+
+    @pytest.mark.parametrize("graph", RANDOM_GRAPHS, ids=range(len(RANDOM_GRAPHS)))
+    def test_adjacency_by_gid_view_matches_csr(self, graph):
+        adj, adj_eids = graph.adjacency_by_gid()
+        indptr, indices, eids = graph.csr_gid()
+        for g in range(graph.num_vertices):
+            row = slice(indptr[g], indptr[g + 1])
+            assert adj[g] == indices[row].tolist()
+            assert adj_eids[g] == eids[row].tolist()
+
+    @pytest.mark.parametrize("graph", RANDOM_GRAPHS, ids=range(len(RANDOM_GRAPHS)))
+    def test_sorted_csr_is_priority_sorted_row_permutation(self, graph):
+        prio = graph.priorities()
+        indptr, indices, eids = graph.csr_gid_sorted()
+        base_indptr, base_indices, base_eids = graph.csr_gid()
+        assert indptr is base_indptr
+        for g in range(graph.num_vertices):
+            row = slice(indptr[g], indptr[g + 1])
+            row_prios = prio[indices[row]]
+            assert (np.diff(row_prios) >= 0).all()
+            assert sorted(indices[row].tolist()) == sorted(base_indices[row].tolist())
+            assert sorted(eids[row].tolist()) == sorted(base_eids[row].tolist())
+            # indices and eids are permuted together
+            for nbr, eid in zip(indices[row].tolist(), eids[row].tolist()):
+                u, v = graph.edge_endpoints(eid)
+                assert {graph.gid_of_upper(u), graph.gid_of_lower(v)} == {g, nbr}
+
+    def test_shared_arrays_are_read_only(self, medium_random):
+        g = medium_random
+        for arr in (
+            g.edge_upper,
+            g.edge_lower,
+            *g.csr_upper(),
+            *g.csr_lower(),
+            *g.csr_gid(),
+        ):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_roundtrip_property(self, graph):
+        graph.validate()
+        indptr, indices, eids = graph.csr_gid()
+        assert int(indptr[-1]) == 2 * graph.num_edges
+        # every edge appears exactly once per endpoint
+        assert np.bincount(eids, minlength=graph.num_edges).tolist() == [2] * graph.num_edges
+
+
+class TestBatchPeelingExactness:
+    def _assert_identical(self, graph):
+        expected = bit_bu(graph).phi
+        vectorized = bit_bu_csr(graph, scalar_cutoff=0).phi
+        scalar = bit_bu_csr(graph, scalar_cutoff=10**9).phi
+        hybrid = bit_bu_csr(graph).phi
+        np.testing.assert_array_equal(expected, vectorized)
+        np.testing.assert_array_equal(expected, scalar)
+        np.testing.assert_array_equal(expected, hybrid)
+
+    def test_identical_on_figure1(self, figure1):
+        self._assert_identical(figure1)
+
+    def test_identical_on_figure4(self, figure4):
+        self._assert_identical(figure4)
+
+    def test_identical_on_medium_random(self, medium_random):
+        self._assert_identical(medium_random)
+
+    def test_identical_on_dense_nested(self):
+        graph = nested_communities(
+            [(30, 40, 0.4), (12, 16, 0.7), (5, 7, 1.0)], noise_edges=60, seed=5
+        )
+        self._assert_identical(graph)
+
+    def test_identical_on_skewed(self):
+        self._assert_identical(chung_lu_bipartite(80, 80, 600, seed=13))
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph(4, 4, [])
+        assert bit_bu_csr(graph).phi.tolist() == []
+
+    @given(bipartite_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_identical_property(self, graph):
+        np.testing.assert_array_equal(
+            bit_bu(graph).phi, bit_bu_csr(graph, scalar_cutoff=3).phi
+        )
+
+
+class TestEngineInternals:
+    def test_engine_supports_match_be_index(self, medium_random):
+        engine = CSRPeelingEngine.build(medium_random)
+        index = BEIndex.build(medium_random)
+        np.testing.assert_array_equal(engine.support, index.support)
+
+    def test_engine_size_components_match_be_index(self, medium_random):
+        engine = CSRPeelingEngine.build(medium_random)
+        index = BEIndex.build(medium_random)
+        blooms_e, edges_e, links_e = engine.size_components()
+        blooms_i, edges_i, links_i = index.size_components()
+        assert blooms_e == blooms_i
+        assert edges_e == edges_i
+        assert links_e == links_i
+
+    def test_stats_plumbing(self, figure4):
+        from repro.utils.stats import UpdateCounter
+
+        counter = UpdateCounter()
+        result = bit_bu_csr(figure4, counter=counter)
+        assert result.stats.algorithm == "BiT-BU-CSR"
+        assert "index construction" in result.stats.timings
+        assert "peeling" in result.stats.timings
+        assert counter.total > 0
+        assert result.stats.index_peak_bytes > 0
+
+    def test_registered_in_api(self, figure4):
+        from repro.core.api import ALGORITHMS, bitruss_decomposition
+
+        assert ALGORITHMS["csr"] == "bit-bu-csr"
+        result = bitruss_decomposition(figure4, algorithm="bu-csr")
+        np.testing.assert_array_equal(result.phi, bit_bu(figure4).phi)
