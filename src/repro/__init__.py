@@ -28,6 +28,13 @@ from repro.core.result import (
 from repro.core.tip import tip_decomposition
 from repro.graph.bipartite import BipartiteGraph
 from repro.index.be_index import BEIndex
+from repro.service import (
+    DecompositionArtifact,
+    QueryEngine,
+    build_artifact,
+    load_artifact,
+    save_artifact,
+)
 
 #: The paper's reference [5] names the edge-level hierarchy the *wing*
 #: decomposition; bitruss is the same object, so expose the alias.
@@ -40,9 +47,14 @@ __all__ = [
     "BEIndex",
     "BipartiteGraph",
     "BitrussDecomposition",
+    "DecompositionArtifact",
+    "QueryEngine",
     "__version__",
     "bitruss_decomposition",
+    "build_artifact",
+    "load_artifact",
     "load_decomposition",
+    "save_artifact",
     "save_decomposition",
     "tip_decomposition",
     "wing_decomposition",

@@ -1,0 +1,45 @@
+"""Shared graph/engine resolution for the application modules.
+
+Every app accepts either a plain graph (recompute path) or a
+:class:`~repro.service.engine.QueryEngine` (served path).  The guard and
+fallback logic lives here once so the staleness and mismatch behaviour
+cannot drift between apps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.core.api import bitruss_decomposition
+from repro.core.result import BitrussDecomposition
+from repro.graph.bipartite import BipartiteGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.service.engine import QueryEngine
+
+
+def check_engine_graph(
+    graph: Optional[BipartiteGraph], engine: "QueryEngine"
+) -> None:
+    """Reject an engine that serves a different graph than the one given."""
+    if graph is not None and graph is not engine.graph:
+        raise ValueError("engine serves a different graph object")
+
+
+def resolve_decomposition(
+    graph: Optional[BipartiteGraph],
+    engine: Optional["QueryEngine"],
+    algorithm: str,
+) -> Tuple[BipartiteGraph, BitrussDecomposition]:
+    """Pick the engine's frozen decomposition or run a fresh one.
+
+    Going through ``engine.decomposition`` keeps the engine's staleness
+    rule in force: an invalidated engine raises instead of handing out
+    outdated φ.
+    """
+    if engine is not None:
+        check_engine_graph(graph, engine)
+        return engine.graph, engine.decomposition
+    if graph is None:
+        raise ValueError("give a graph (or an engine)")
+    return graph, bitruss_decomposition(graph, algorithm=algorithm)

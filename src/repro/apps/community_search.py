@@ -14,13 +14,17 @@ depth" score.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.apps._shared import check_engine_graph
 from repro.core.api import bitruss_decomposition
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.service.engine import QueryEngine
 
 
 @dataclass
@@ -75,21 +79,34 @@ def _component_of(
 
 
 def bitruss_community(
-    graph: BipartiteGraph,
+    graph: Optional[BipartiteGraph] = None,
     *,
     k: int,
     upper: Optional[int] = None,
     lower: Optional[int] = None,
     decomposition: Optional[BitrussDecomposition] = None,
     algorithm: str = "bit-bu++",
+    engine: Optional["QueryEngine"] = None,
 ) -> Community:
     """The connected k-bitruss community containing a query vertex.
 
-    Exactly one of ``upper`` / ``lower`` selects the query vertex.  An
-    existing ``decomposition`` may be passed to amortize repeated queries;
-    otherwise one is computed with ``algorithm``.  Returns an empty
-    community when the query vertex does not reach the k-bitruss.
+    Exactly one of ``upper`` / ``lower`` selects the query vertex.  Three
+    execution paths, fastest first:
+
+    * ``engine`` — answer from a :class:`~repro.service.engine.QueryEngine`
+      (output-linear hierarchy walk, LRU-cached); ``graph`` may be omitted;
+    * ``decomposition`` — slice a previously computed decomposition;
+    * neither — compute a decomposition with ``algorithm`` (the honest
+      recompute path).
+
+    Returns an empty community when the query vertex does not reach the
+    k-bitruss.
     """
+    if engine is not None:
+        check_engine_graph(graph, engine)
+        return engine.community(k, upper=upper, lower=lower)
+    if graph is None:
+        raise ValueError("give a graph (or an engine)")
     if (upper is None) == (lower is None):
         raise ValueError("give exactly one of upper= or lower=")
     result = (
@@ -107,13 +124,19 @@ def bitruss_community(
 
 
 def max_level_of_vertex(
-    graph: BipartiteGraph,
+    graph: Optional[BipartiteGraph] = None,
     *,
     upper: Optional[int] = None,
     lower: Optional[int] = None,
     decomposition: Optional[BitrussDecomposition] = None,
+    engine: Optional["QueryEngine"] = None,
 ) -> int:
     """The deepest bitruss level any incident edge of the vertex reaches."""
+    if engine is not None:
+        check_engine_graph(graph, engine)
+        return engine.max_k(upper=upper, lower=lower)
+    if graph is None:
+        raise ValueError("give a graph (or an engine)")
     if (upper is None) == (lower is None):
         raise ValueError("give exactly one of upper= or lower=")
     result = (

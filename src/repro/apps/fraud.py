@@ -11,13 +11,16 @@ advance (CopyCatch's motivation, [10] in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.api import bitruss_decomposition
+from repro.apps._shared import resolve_decomposition
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.service.engine import QueryEngine
 
 
 @dataclass
@@ -50,11 +53,12 @@ class FraudReport:
 
 
 def detect_fraud_candidates(
-    graph: BipartiteGraph,
+    graph: Optional[BipartiteGraph] = None,
     *,
     min_level: int = 2,
     max_core_fraction: float = 0.25,
     algorithm: str = "bit-pc",
+    engine: Optional["QueryEngine"] = None,
 ) -> FraudReport:
     """Flag the densest lockstep core of a user-page graph.
 
@@ -63,12 +67,14 @@ def detect_fraud_candidates(
     all edges (no longer anomalous — legitimate popularity) or would fall
     below ``min_level`` (no cohesive core at all).
 
-    Returns the report for the chosen level; an empty report (level 0) means
-    nothing sufficiently cohesive was found.
+    A :class:`~repro.service.engine.QueryEngine` may be passed to scan a
+    pre-computed decomposition instead of running one per call (``graph``
+    may then be omitted).  Returns the report for the chosen level; an
+    empty report (level 0) means nothing sufficiently cohesive was found.
     """
     if not (0.0 < max_core_fraction <= 1.0):
         raise ValueError("max_core_fraction must be in (0, 1]")
-    result = bitruss_decomposition(graph, algorithm=algorithm)
+    graph, result = resolve_decomposition(graph, engine, algorithm)
     phi = result.phi
     total_edges = graph.num_edges
 

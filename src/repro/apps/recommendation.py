@@ -11,11 +11,14 @@ rank above items that only share loose structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from repro.core.api import bitruss_decomposition
+from repro.apps._shared import resolve_decomposition
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.service.engine import QueryEngine
 
 
 @dataclass
@@ -36,12 +39,17 @@ class SimilarityTiers:
 
 
 def similarity_tiers(
-    graph: BipartiteGraph,
+    graph: Optional[BipartiteGraph] = None,
     *,
     algorithm: str = "bit-bu++",
+    engine: Optional["QueryEngine"] = None,
 ) -> SimilarityTiers:
-    """Compute the full tier structure of a user-item graph."""
-    result = bitruss_decomposition(graph, algorithm=algorithm)
+    """Compute the full tier structure of a user-item graph.
+
+    With ``engine`` the tiers are sliced from the engine's frozen φ
+    instead of re-running a decomposition (``graph`` may be omitted).
+    """
+    graph, result = resolve_decomposition(graph, engine, algorithm)
     tiers: Dict[int, Tuple[Set[int], Set[int]]] = {}
     for k in range(1, result.max_k + 1):
         eids = result.edges_with_phi_at_least(k)
@@ -58,20 +66,23 @@ def similarity_tiers(
 
 
 def recommend_items(
-    graph: BipartiteGraph,
-    user: int,
+    graph: Optional[BipartiteGraph] = None,
+    user: int = 0,
     *,
     top_n: int = 10,
     algorithm: str = "bit-bu++",
+    engine: Optional["QueryEngine"] = None,
 ) -> List[Tuple[int, int]]:
     """Rank unseen items for ``user`` by shared-bitruss depth.
 
     For every item the user has not interacted with, the score is the
     deepest bitruss level at which that item coexists (in the same level
-    set) with any of the user's items.  Returns up to ``top_n``
-    ``(item, score)`` pairs, best first, ties broken by item id.
+    set) with any of the user's items.  With ``engine`` the level sets
+    come from the engine's frozen φ (``graph`` may be omitted).  Returns
+    up to ``top_n`` ``(item, score)`` pairs, best first, ties broken by
+    item id.
     """
-    result = bitruss_decomposition(graph, algorithm=algorithm)
+    graph, result = resolve_decomposition(graph, engine, algorithm)
     owned = set(graph.neighbors_of_upper(user))
     scores: Dict[int, int] = {}
     for k in range(result.max_k, 0, -1):

@@ -9,6 +9,9 @@ Subcommands
 ``stats``       Table II-style summary of a graph.
 ``generate``    materialize a bundled synthetic dataset to an edge-list file.
 ``datasets``    list bundled datasets.
+``index``       decompose once and save a serving artifact (``.npz``).
+``query``       answer k-bitruss / community / max-k / path / histogram /
+                stats queries against a saved artifact — no recompute.
 
 Examples
 --------
@@ -18,6 +21,9 @@ Examples
     repro-bitruss decompose graph.txt --base 1 --output phi.txt
     repro-bitruss stats --dataset d-style
     repro-bitruss generate d-label d-label.txt
+    repro-bitruss index --dataset github --algorithm bu-csr --output github.npz
+    repro-bitruss query github.npz community -k 4 --upper 17
+    repro-bitruss query github.npz k-bitruss -k 6 --output h6.txt
 """
 
 from __future__ import annotations
@@ -152,6 +158,134 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.service import build_artifact, save_artifact
+
+    graph = _load_graph(args)
+    artifact = build_artifact(graph, algorithm=args.algorithm, tau=args.tau)
+    save_artifact(artifact, args.output)
+    print(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
+    print(f"algorithm: {artifact.algorithm}")
+    print(f"max bitruss number: {artifact.max_k}")
+    print(f"graph hash: {artifact.graph_hash[:16]}…")
+    print(f"wrote artifact to {args.output}")
+    return 0
+
+
+def _load_engine(args: argparse.Namespace):
+    from repro.service import ArtifactError, QueryEngine
+
+    try:
+        return QueryEngine.load(args.artifact)
+    except ArtifactError as exc:
+        raise SystemExit(str(exc))
+
+
+def _print_edges(edges, limit: int) -> None:
+    for u, v in edges[:limit]:
+        print(f"  {u} {v}")
+    if len(edges) > limit:
+        print(f"  ... ({len(edges) - limit} more)")
+
+
+def _cmd_query_k_bitruss(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    eids = engine.k_bitruss(args.k)
+    print(f"{args.k}-bitruss: {len(eids)} edges")
+    if args.output:
+        sub, _ = engine.graph.subgraph_from_edge_ids(eids)
+        save_edge_list(sub, args.output, base=args.base)
+        print(f"wrote {args.k}-bitruss edge list to {args.output}")
+    else:
+        edges = [engine.graph.edge_endpoints(e) for e in eids]
+        _print_edges(edges, args.limit)
+    return 0
+
+
+def _cmd_query_community(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    kwargs = {}
+    if args.upper is not None:
+        kwargs["upper"] = args.upper
+    if args.lower is not None:
+        kwargs["lower"] = args.lower
+    community = engine.community(args.k, **kwargs)
+    print(
+        f"community at k={args.k}: {len(community.upper)} upper, "
+        f"{len(community.lower)} lower, {len(community.edges)} edges"
+    )
+    _print_edges(sorted(community.edges), args.limit)
+    return 0
+
+
+def _cmd_query_max_k(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    if args.upper is not None:
+        k = engine.max_k(upper=args.upper)
+        print(f"max k of upper vertex {args.upper}: {k}")
+    else:
+        k = engine.max_k(lower=args.lower)
+        print(f"max k of lower vertex {args.lower}: {k}")
+    return 0
+
+
+def _cmd_query_path(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    u, v = args.edge
+    try:
+        path = engine.hierarchy_path(edge=(u, v))
+    except KeyError:
+        raise SystemExit(f"edge ({u}, {v}) not in the indexed graph")
+    print(f"edge ({u}, {v}): phi = {engine.phi_of(u, v)}")
+    for level, node in path:
+        size = len(engine.hierarchy.component_edges(node))
+        print(f"  level {level}: component node {node} ({size} edges)")
+    return 0
+
+
+def _cmd_query_histogram(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    for k, count in sorted(engine.phi_histogram().items()):
+        print(f"  phi={k}: {count} edges")
+    return 0
+
+
+def _cmd_query_stats(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    info = engine.stats()
+    levels = info.pop("level_sizes")
+    for key, value in info.items():
+        print(f"{key}: {value}")
+    shown = sorted(levels)[: args.levels]
+    for k in shown:
+        print(f"  |E(H_{k})| = {levels[k]}")
+    if len(levels) > args.levels:
+        print(f"  ... ({len(levels) - args.levels} more levels)")
+    return 0
+
+
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        queries = json.load(handle)
+    if not isinstance(queries, list):
+        raise SystemExit(f"{args.file}: expected a JSON list of query objects")
+
+    def _encode(value):
+        if hasattr(value, "upper") and hasattr(value, "edges"):  # Community
+            return {
+                "k": value.k,
+                "upper": sorted(value.upper),
+                "lower": sorted(value.lower),
+                "edges": sorted(value.edges),
+            }
+        return value
+
+    results = engine.batch(queries)
+    print(json.dumps([_encode(r) for r in results], indent=2, default=str))
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     for name in datasets.dataset_names():
         spec = datasets.dataset_spec(name)
@@ -221,6 +355,88 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ls = sub.add_parser("datasets", help="list bundled datasets")
     p_ls.set_defaults(func=_cmd_datasets)
+
+    p_idx = sub.add_parser(
+        "index", help="decompose once and save a serving artifact"
+    )
+    _add_input_options(p_idx)
+    p_idx.add_argument(
+        "--algorithm",
+        default="bit-bu++",
+        choices=sorted(ALGORITHMS),
+        help="decomposition algorithm (default bit-bu++)",
+    )
+    p_idx.add_argument("--tau", type=float, default=0.02, help="BiT-PC tau")
+    # An --output flag, not a second positional: the input path is already
+    # an optional positional, and argparse cannot split two positionals
+    # across intervening option flags.
+    p_idx.add_argument(
+        "--output", required=True, help="artifact file to write (.npz)"
+    )
+    p_idx.set_defaults(func=_cmd_index)
+
+    p_q = sub.add_parser(
+        "query", help="serve queries against a saved artifact"
+    )
+    p_q.add_argument("artifact", help="artifact file written by `index`")
+    qsub = p_q.add_subparsers(dest="query_op", required=True)
+
+    q_kb = qsub.add_parser("k-bitruss", help="edges of the k-bitruss")
+    q_kb.add_argument("-k", type=int, required=True, help="cohesion level")
+    q_kb.add_argument("--output", help="write the subgraph edge list here")
+    q_kb.add_argument("--base", type=int, default=0, help="output id base")
+    q_kb.add_argument(
+        "--limit", type=int, default=20, help="edges to print (default 20)"
+    )
+    q_kb.set_defaults(func=_cmd_query_k_bitruss)
+
+    q_com = qsub.add_parser(
+        "community", help="k-bitruss community around a query vertex"
+    )
+    q_com.add_argument("-k", type=int, required=True, help="cohesion level")
+    group = q_com.add_mutually_exclusive_group(required=True)
+    group.add_argument("--upper", type=int, help="query upper-layer vertex")
+    group.add_argument("--lower", type=int, help="query lower-layer vertex")
+    q_com.add_argument(
+        "--limit", type=int, default=20, help="edges to print (default 20)"
+    )
+    q_com.set_defaults(func=_cmd_query_community)
+
+    q_mk = qsub.add_parser(
+        "max-k", help="deepest bitruss level a vertex reaches"
+    )
+    group = q_mk.add_mutually_exclusive_group(required=True)
+    group.add_argument("--upper", type=int, help="query upper-layer vertex")
+    group.add_argument("--lower", type=int, help="query lower-layer vertex")
+    q_mk.set_defaults(func=_cmd_query_max_k)
+
+    q_path = qsub.add_parser(
+        "path", help="chain of enclosing components of one edge"
+    )
+    q_path.add_argument(
+        "--edge",
+        nargs=2,
+        type=int,
+        required=True,
+        metavar=("U", "V"),
+        help="edge endpoints (upper lower)",
+    )
+    q_path.set_defaults(func=_cmd_query_path)
+
+    q_hist = qsub.add_parser("histogram", help="edges per exact phi level")
+    q_hist.set_defaults(func=_cmd_query_histogram)
+
+    q_stats = qsub.add_parser("stats", help="artifact + hierarchy summary")
+    q_stats.add_argument(
+        "--levels", type=int, default=10, help="hierarchy levels to print"
+    )
+    q_stats.set_defaults(func=_cmd_query_stats)
+
+    q_batch = qsub.add_parser(
+        "batch", help="answer a JSON file of mixed queries"
+    )
+    q_batch.add_argument("file", help="JSON list of {op: ..., ...} objects")
+    q_batch.set_defaults(func=_cmd_query_batch)
 
     return parser
 

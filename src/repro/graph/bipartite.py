@@ -188,6 +188,85 @@ class BipartiteGraph:
         self._gid_adj: Optional[List[List[int]]] = None
         self._gid_adj_eids: Optional[List[List[int]]] = None
 
+    @classmethod
+    def from_csr(
+        cls,
+        num_upper: int,
+        num_lower: int,
+        edge_upper: np.ndarray,
+        edge_lower: np.ndarray,
+        upper_csr: CSR,
+        lower_csr: CSR,
+        *,
+        check: bool = True,
+    ) -> "BipartiteGraph":
+        """Rehydrate a graph from pre-built endpoint and CSR arrays.
+
+        The normal constructor derives the CSR blocks from the edge list;
+        this alternate constructor *installs* arrays that were built (and
+        validated) earlier — the fast path for reopening a saved
+        :class:`~repro.service.artifacts.DecompositionArtifact`, where the
+        arrays come straight out of an ``.npz`` file.
+
+        Parameters
+        ----------
+        num_upper, num_lower : int
+            Layer sizes.
+        edge_upper, edge_lower : numpy.ndarray
+            Endpoint arrays indexed by edge id.
+        upper_csr, lower_csr : tuple of numpy.ndarray
+            ``(indptr, indices, edge_ids)`` triples for each layer, laid
+            out exactly as :meth:`csr_upper` / :meth:`csr_lower` return
+            them.
+        check : bool, optional
+            When true (default) run the vectorized structural checks
+            (:meth:`_validate_arrays`) on the result so a corrupted or
+            mismatched array set cannot produce a silently broken graph;
+            stays O(m) at numpy speed, no Python-level per-edge loop.
+
+        Returns
+        -------
+        BipartiteGraph
+            A graph sharing (frozen copies of) the supplied arrays.
+        """
+        if num_upper < 0 or num_lower < 0:
+            raise ValueError("layer sizes must be non-negative")
+        self = cls.__new__(cls)
+        self._n_u = int(num_upper)
+        self._n_l = int(num_lower)
+        self._edge_u = np.ascontiguousarray(edge_upper, dtype=np.int64)
+        self._edge_v = np.ascontiguousarray(edge_lower, dtype=np.int64)
+        (self._up_indptr, self._up_nbrs, self._up_eids) = (
+            np.ascontiguousarray(a, dtype=np.int64) for a in upper_csr
+        )
+        (self._lo_indptr, self._lo_nbrs, self._lo_eids) = (
+            np.ascontiguousarray(a, dtype=np.int64) for a in lower_csr
+        )
+        if len(self._up_indptr) != self._n_u + 1:
+            raise ValueError("upper indptr length does not match num_upper")
+        if len(self._lo_indptr) != self._n_l + 1:
+            raise ValueError("lower indptr length does not match num_lower")
+        _freeze(
+            self._edge_u,
+            self._edge_v,
+            self._up_indptr,
+            self._up_nbrs,
+            self._up_eids,
+            self._lo_indptr,
+            self._lo_nbrs,
+            self._lo_eids,
+        )
+        self._edge_index = None
+        self._gid_csr = None
+        self._gid_csr_sorted = None
+        self._gid_sorted_prios = None
+        self._prio = None
+        self._gid_adj = None
+        self._gid_adj_eids = None
+        if check:
+            self._validate_arrays()
+        return self
+
     # ------------------------------------------------------------------ size
 
     @property
@@ -644,16 +723,47 @@ class BipartiteGraph:
     def validate(self) -> None:
         """Internal-consistency check used by tests and IO round-trips.
 
+        Runs the vectorized array checks plus a Python-level audit of the
+        lazily-built edge-id dictionary.
+
         Raises
         ------
         AssertionError
             If the edge index, CSR blocks, and endpoint arrays disagree.
         """
+        self._validate_arrays()
         if len(self._index()) != self.num_edges:
             raise AssertionError("edge index size mismatch")
         for eid, (u, v) in enumerate(self.edges()):
             if self._index()[(u, v)] != eid:
                 raise AssertionError(f"edge index broken at {eid}")
+
+    def _validate_arrays(self) -> None:
+        """Vectorized structural checks over the endpoint and CSR arrays.
+
+        Everything :meth:`validate` asserts except the edge-id dictionary
+        audit, at numpy speed — this is the integrity gate of the artifact
+        fast path (:meth:`from_csr`), where a per-edge Python loop would
+        dominate reopen time.
+
+        Raises
+        ------
+        AssertionError
+            If endpoints are out of range, edges repeat, or the CSR blocks
+            disagree with the endpoint arrays.
+        """
+        m = self.num_edges
+        if m:
+            if (
+                (self._edge_u < 0).any()
+                or (self._edge_u >= self._n_u).any()
+                or (self._edge_v < 0).any()
+                or (self._edge_v >= self._n_l).any()
+            ):
+                raise AssertionError("edge endpoint out of range")
+            codes = self._edge_u * self._n_l + self._edge_v
+            if len(np.unique(codes)) != m:
+                raise AssertionError("duplicate edges")
         for indptr, eids, label in (
             (self._up_indptr, self._up_eids, "upper"),
             (self._lo_indptr, self._lo_eids, "lower"),
@@ -662,6 +772,10 @@ class BipartiteGraph:
                 raise AssertionError(f"{label} CSR/edge count mismatch")
             if (np.diff(indptr) < 0).any():
                 raise AssertionError(f"{label} indptr not monotone")
+            if len(eids) and (
+                int(eids.min()) < 0 or int(eids.max()) >= self.num_edges
+            ):
+                raise AssertionError(f"{label} CSR edge id out of range")
             if len(np.unique(eids)) != self.num_edges:
                 raise AssertionError(f"{label} CSR edge ids not a permutation")
         # Endpoint consistency: each upper-CSR slot (u, nbrs[slot]) must be

@@ -18,6 +18,11 @@ Full *bitruss-number* maintenance is a separate line of work (it needs the
 peeling order to be repaired, not just the supports); ``decompose()`` is the
 honest recompute path and the supports maintained here make the counting
 phase free.
+
+The graph also acts as a staleness source for the service layer: artifacts
+and query engines registered via :meth:`DynamicBipartiteGraph.register_artifact`
+are invalidated on every edge mutation, so a serving deployment can never
+silently answer from a φ computed against an older snapshot.
 """
 
 from __future__ import annotations
@@ -72,8 +77,50 @@ class DynamicBipartiteGraph:
         self._adj_u: List[Set[int]] = [set() for _ in range(num_upper)]
         self._adj_l: List[Set[int]] = [set() for _ in range(num_lower)]
         self._support: Dict[Edge, int] = {}
+        self._watchers: List[object] = []
         for u, v in edges or ():
             self.insert_edge(u, v)
+
+    # ----------------------------------------------------- staleness hooks
+
+    def register_artifact(self, target: object) -> None:
+        """Subscribe an artifact/engine to this graph's edge updates.
+
+        ``target`` is anything with an ``invalidate()`` method — a
+        :class:`~repro.service.artifacts.DecompositionArtifact` or a
+        :class:`~repro.service.engine.QueryEngine` built from an earlier
+        snapshot of this graph.  Every subsequent :meth:`insert_edge` /
+        :meth:`delete_edge` marks all registered targets stale, so a
+        serving layer can never silently answer from outdated φ.
+
+        Examples
+        --------
+        >>> from repro.service.engine import QueryEngine
+        >>> g = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        >>> engine = QueryEngine.from_graph(g.snapshot())
+        >>> g.register_artifact(engine)
+        >>> engine.stale
+        False
+        >>> _ = g.insert_edge(1, 1)
+        >>> engine.stale
+        True
+        """
+        if not callable(getattr(target, "invalidate", None)):
+            raise TypeError("target must expose an invalidate() method")
+        self._watchers.append(target)
+
+    def unregister_artifact(self, target: object) -> None:
+        """Drop a previously registered artifact/engine (no-op if absent)."""
+        self._watchers = [w for w in self._watchers if w is not target]
+
+    def invalidate(self) -> None:
+        """Mark every registered artifact/engine stale.
+
+        Called automatically by the edge mutators; exposed so callers with
+        out-of-band knowledge of drift (e.g. a replayed log) can force it.
+        """
+        for watcher in self._watchers:
+            watcher.invalidate()
 
     # ---------------------------------------------------------------- size
 
@@ -152,6 +199,7 @@ class DynamicBipartiteGraph:
         self._adj_u[u].add(v)
         self._adj_l[v].add(u)
         self._support[(u, v)] = created
+        self.invalidate()
         return created
 
     def delete_edge(self, u: int, v: int) -> int:
@@ -170,6 +218,7 @@ class DynamicBipartiteGraph:
                     self._support[(w, v)] -= 1
                     self._support[(w, x)] -= 1
         del self._support[(u, v)]
+        self.invalidate()
         return destroyed
 
     # ------------------------------------------------------------ snapshot

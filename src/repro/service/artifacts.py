@@ -1,0 +1,327 @@
+"""Decomposition artifacts: a frozen decomposition in a single ``.npz``.
+
+A :class:`DecompositionArtifact` is the offline half of the service layer's
+compute-once / query-many split: the graph's CSR arrays
+(``indptr``/``indices``/``edge_id`` for both layers), the per-edge bitruss
+numbers φ, and provenance metadata (algorithm, graph hash, format version)
+packed into one compressed numpy archive.  Building one costs a full
+decomposition; reopening one costs a file read plus integrity checks.
+
+Integrity
+---------
+Two SHA-256 digests travel with the file: one over the graph structure
+(layer sizes + endpoint arrays) and one over φ.  :func:`load_artifact`
+recomputes both and refuses files whose content no longer matches —
+truncation, bit rot, or a hand-edited φ array all raise
+:class:`ArtifactIntegrityError` instead of silently serving wrong answers.
+The rehydrated graph additionally runs the CSR/endpoint consistency checks
+of :meth:`~repro.graph.bipartite.BipartiteGraph.validate`.
+
+Staleness
+---------
+An artifact can be registered with a
+:class:`~repro.maintenance.dynamic.DynamicBipartiteGraph`; any edge update
+then calls :meth:`DecompositionArtifact.invalidate`, and a
+:class:`~repro.service.engine.QueryEngine` serving the artifact raises
+:class:`StaleArtifactError` rather than answering from outdated φ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.result import BitrussDecomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.stats import DecompositionStats
+
+#: On-disk format tag; bump :data:`ARTIFACT_VERSION` on layout changes.
+ARTIFACT_FORMAT = "repro-bitruss-artifact"
+ARTIFACT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """A file is not a readable decomposition artifact."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An artifact's stored hashes no longer match its content."""
+
+
+class StaleArtifactError(RuntimeError):
+    """A query was attempted against an invalidated artifact."""
+
+
+def graph_sha256(graph: BipartiteGraph) -> str:
+    """Content hash of a graph: layer sizes plus endpoint arrays.
+
+    Two graphs hash equal iff they have the same layer sizes and the same
+    ``(u, v)`` pair at every edge id — exactly the identity under which a
+    saved φ remains valid.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{graph.num_upper},{graph.num_lower};".encode())
+    digest.update(np.ascontiguousarray(graph.edge_upper, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.edge_lower, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def _phi_sha256(phi: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(phi, dtype=np.int64).tobytes()
+    ).hexdigest()
+
+
+@dataclass
+class DecompositionArtifact:
+    """A frozen decomposition: graph + φ + provenance, ready to serve.
+
+    Attributes
+    ----------
+    graph:
+        The decomposed graph (immutable, CSR-backed).
+    phi:
+        ``int64`` bitruss numbers indexed by edge id, read-only.
+    algorithm:
+        Canonical name of the algorithm that produced φ.
+    graph_hash:
+        SHA-256 over the graph structure (see :func:`graph_sha256`).
+    meta:
+        Free-form provenance carried through save/load (timings, update
+        counts, parameters — JSON-serializable values only).
+    stale:
+        Set by :meth:`invalidate` when the source graph has changed since
+        φ was computed; engines refuse stale artifacts.
+    """
+
+    graph: BipartiteGraph
+    phi: np.ndarray
+    algorithm: str = ""
+    graph_hash: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+    stale: bool = False
+
+    def __post_init__(self) -> None:
+        # Private copy: freezing a caller-owned array in place would leak
+        # the artifact's immutability into the caller's objects.
+        self.phi = np.array(self.phi, dtype=np.int64, copy=True)
+        if len(self.phi) != self.graph.num_edges:
+            raise ArtifactError("phi must have one entry per edge")
+        self.phi.flags.writeable = False
+        if not self.graph_hash:
+            self.graph_hash = graph_sha256(self.graph)
+
+    @classmethod
+    def from_decomposition(
+        cls, result: BitrussDecomposition, **meta: object
+    ) -> "DecompositionArtifact":
+        """Wrap a finished :class:`BitrussDecomposition`."""
+        provenance: Dict[str, object] = {
+            "updates": result.stats.updates,
+            "timings": dict(result.stats.timings),
+            "iterations": result.stats.iterations,
+        }
+        provenance.update(meta)
+        return cls(
+            graph=result.graph,
+            phi=result.phi,
+            algorithm=result.stats.algorithm,
+            meta=provenance,
+        )
+
+    def to_decomposition(self) -> BitrussDecomposition:
+        """The artifact as a :class:`BitrussDecomposition` (stats restored)."""
+        stats = DecompositionStats(
+            algorithm=self.algorithm,
+            updates=int(self.meta.get("updates", 0) or 0),
+            timings=dict(self.meta.get("timings", {}) or {}),
+            iterations=int(self.meta.get("iterations", 0) or 0),
+        )
+        return BitrussDecomposition(self.graph, self.phi.copy(), stats)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def invalidate(self) -> None:
+        """Mark the artifact stale (its source graph has changed)."""
+        self.stale = True
+
+    def save(self, path) -> None:
+        """Write the artifact to ``path`` (see :func:`save_artifact`)."""
+        save_artifact(self, path)
+
+    @property
+    def max_k(self) -> int:
+        """Largest bitruss number in the artifact (0 when edgeless)."""
+        return int(self.phi.max()) if len(self.phi) else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DecompositionArtifact(m={self.graph.num_edges}, "
+            f"max_k={self.max_k}, algorithm={self.algorithm!r}, "
+            f"stale={self.stale})"
+        )
+
+
+def build_artifact(
+    graph: BipartiteGraph,
+    algorithm: str = "bit-bu++",
+    **kwargs: object,
+) -> DecompositionArtifact:
+    """Run a decomposition and freeze it into an artifact.
+
+    Parameters
+    ----------
+    graph : BipartiteGraph
+        The graph to decompose.
+    algorithm : str, optional
+        Any name accepted by :func:`repro.core.api.bitruss_decomposition`.
+    **kwargs :
+        Forwarded to the decomposition (``tau``, ``prefilter``, ...).
+
+    Returns
+    -------
+    DecompositionArtifact
+        Ready to save or to hand to a
+        :class:`~repro.service.engine.QueryEngine`.
+    """
+    from repro.core.api import bitruss_decomposition
+
+    result = bitruss_decomposition(graph, algorithm=algorithm, **kwargs)
+    return DecompositionArtifact.from_decomposition(result)
+
+
+def save_artifact(artifact: DecompositionArtifact, path) -> None:
+    """Persist an artifact as one compressed ``.npz`` archive.
+
+    The archive stores the endpoint arrays, both CSR blocks, φ, and a JSON
+    header with the format tag, version, algorithm, both content hashes and
+    the free-form ``meta`` dict.
+    """
+    graph = artifact.graph
+    up_indptr, up_nbrs, up_eids = graph.csr_upper()
+    lo_indptr, lo_nbrs, lo_eids = graph.csr_lower()
+    header = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "algorithm": artifact.algorithm,
+        "num_upper": graph.num_upper,
+        "num_lower": graph.num_lower,
+        "num_edges": graph.num_edges,
+        "graph_hash": artifact.graph_hash,
+        "phi_hash": _phi_sha256(artifact.phi),
+        "meta": artifact.meta,
+    }
+    with open(path, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            edge_upper=graph.edge_upper,
+            edge_lower=graph.edge_lower,
+            up_indptr=up_indptr,
+            up_indices=up_nbrs,
+            up_edge_ids=up_eids,
+            lo_indptr=lo_indptr,
+            lo_indices=lo_nbrs,
+            lo_edge_ids=lo_eids,
+            phi=artifact.phi,
+        )
+
+
+_REQUIRED_KEYS = (
+    "header",
+    "edge_upper",
+    "edge_lower",
+    "up_indptr",
+    "up_indices",
+    "up_edge_ids",
+    "lo_indptr",
+    "lo_indices",
+    "lo_edge_ids",
+    "phi",
+)
+
+
+def load_artifact(path, *, check: bool = True) -> DecompositionArtifact:
+    """Load an artifact written by :func:`save_artifact`, verifying it.
+
+    Parameters
+    ----------
+    path :
+        File to read.
+    check : bool, optional
+        When true (default) recompute both content hashes and run the
+        graph's structural validation; pass ``False`` only for trusted
+        files on hot restart paths.
+
+    Raises
+    ------
+    ArtifactError
+        Not an artifact file, or an unsupported version.
+    ArtifactIntegrityError
+        Stored hashes disagree with the file's content.
+    """
+    try:
+        with np.load(path) as archive:
+            missing = [k for k in _REQUIRED_KEYS if k not in archive.files]
+            if missing:
+                raise ArtifactError(
+                    f"{path}: not a decomposition artifact (missing {missing})"
+                )
+            data = {k: archive[k] for k in _REQUIRED_KEYS}
+    except (OSError, ValueError) as exc:
+        if isinstance(exc, ArtifactError):
+            raise
+        raise ArtifactError(f"{path}: cannot read artifact ({exc})") from exc
+
+    try:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"{path}: corrupt artifact header") from exc
+    if header.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(f"{path}: not a decomposition artifact")
+    if header.get("version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path}: unsupported artifact version {header.get('version')!r}"
+        )
+
+    try:
+        graph = BipartiteGraph.from_csr(
+            int(header["num_upper"]),
+            int(header["num_lower"]),
+            data["edge_upper"],
+            data["edge_lower"],
+            (data["up_indptr"], data["up_indices"], data["up_edge_ids"]),
+            (data["lo_indptr"], data["lo_indices"], data["lo_edge_ids"]),
+            check=check,
+        )
+    except (AssertionError, ValueError, IndexError) as exc:
+        raise ArtifactIntegrityError(
+            f"{path}: stored CSR arrays are internally inconsistent ({exc})"
+        ) from exc
+    phi = np.ascontiguousarray(data["phi"], dtype=np.int64)
+    if len(phi) != graph.num_edges:
+        raise ArtifactIntegrityError(
+            f"{path}: phi length {len(phi)} != edge count {graph.num_edges}"
+        )
+    if check:
+        if graph_sha256(graph) != header.get("graph_hash"):
+            raise ArtifactIntegrityError(
+                f"{path}: graph content does not match its stored hash"
+            )
+        if _phi_sha256(phi) != header.get("phi_hash"):
+            raise ArtifactIntegrityError(
+                f"{path}: phi does not match its stored hash"
+            )
+    return DecompositionArtifact(
+        graph=graph,
+        phi=phi,
+        algorithm=header.get("algorithm", ""),
+        graph_hash=header.get("graph_hash", ""),
+        meta=dict(header.get("meta", {}) or {}),
+    )

@@ -1,0 +1,413 @@
+"""The nested k-bitruss containment forest, in flat numpy storage.
+
+The k-bitrusses of a graph nest (``H_0 ⊇ H_1 ⊇ ... ⊇ H_φmax``) and so do
+their connected components: every component of ``H_k`` lies inside exactly
+one component of ``H_{k-1}``.  That containment relation is a forest whose
+nodes are *super-nodes* — maximal sets of edges that share a connected
+k-bitruss component at the node's level but settle no deeper — and it is
+the entire query index of the service layer: once built (one φ-descending
+union-find sweep, ``O(m α(n))`` after the sort), every structural query is
+answered in time linear in its output.
+
+Construction sweep
+------------------
+Edges are processed by *descending* φ.  A union-find over global vertex
+ids maintains the connected components of the subgraph seen so far, which
+after finishing level ``k`` is exactly ``H_k``.  Finishing a level creates
+one new super-node per component that gained edges, whose children are the
+super-nodes of the previously-existing components it swallowed; levels at
+which a component is unchanged create no node, so the forest is compressed
+(parent levels strictly decrease along every upward path).
+
+Flat storage
+------------
+Nodes are renumbered in DFS preorder so that every subtree occupies a
+contiguous id range ``[n, subtree_end[n])``, and edges are grouped by
+settle node in the same order.  A component's edge set is then one slice
+of one array — the trick that makes ``community()`` output-linear instead
+of graph-linear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+
+class BitrussHierarchy:
+    """Queryable containment forest over the k-bitruss components.
+
+    Build with :func:`build_hierarchy`; all arrays are read-only.
+
+    Attributes
+    ----------
+    node_level:
+        ``node_level[n]`` — the level k of super-node ``n``; the node's
+        own edges have φ == k exactly.  Nodes are in DFS preorder, so
+        parents precede children and ancestor levels strictly decrease.
+    node_parent:
+        Parent node id, ``-1`` at forest roots.
+    subtree_end:
+        Exclusive end of node ``n``'s DFS range: the descendants of ``n``
+        are exactly the ids ``n+1 .. subtree_end[n]-1``.
+    edge_node:
+        ``edge_node[e]`` — the super-node at which edge ``e`` settles (the
+        component of ``H_{φ(e)}`` containing it).
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        phi: np.ndarray,
+        node_level: np.ndarray,
+        node_parent: np.ndarray,
+        subtree_end: np.ndarray,
+        edge_node: np.ndarray,
+        node_edge_ptr: np.ndarray,
+        node_edges: np.ndarray,
+        vertex_best_edge: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.phi = phi
+        self.node_level = node_level
+        self.node_parent = node_parent
+        self.subtree_end = subtree_end
+        self.edge_node = edge_node
+        self._node_edge_ptr = node_edge_ptr
+        self._node_edges = node_edges
+        self._vertex_best_edge = vertex_best_edge
+        # φ ascending with edge-id tie-break: the k-bitruss is a suffix.
+        self._phi_order = np.argsort(phi, kind="stable")
+        self._phi_sorted = phi[self._phi_order]
+        for arr in (
+            self.phi,
+            self.node_level,
+            self.node_parent,
+            self.subtree_end,
+            self.edge_node,
+            self._node_edge_ptr,
+            self._node_edges,
+            self._vertex_best_edge,
+            self._phi_order,
+            self._phi_sorted,
+        ):
+            arr.flags.writeable = False
+
+    # ------------------------------------------------------------- shape
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of super-nodes in the forest."""
+        return len(self.node_level)
+
+    @property
+    def max_k(self) -> int:
+        """Largest bitruss number present."""
+        return int(self.phi.max()) if len(self.phi) else 0
+
+    def roots(self) -> np.ndarray:
+        """Ids of the forest roots (components of the sparsest level)."""
+        return np.nonzero(self.node_parent == -1)[0]
+
+    # ----------------------------------------------------------- queries
+
+    def k_bitruss_edges(self, k: int) -> np.ndarray:
+        """Edge ids of ``H_k`` in ascending order, output-linear time.
+
+        The φ-sorted permutation makes edges with ``φ >= k`` one suffix;
+        only that suffix is touched.
+        """
+        if k <= 0:
+            return np.arange(len(self.phi), dtype=np.int64)
+        start = int(np.searchsorted(self._phi_sorted, k, side="left"))
+        return np.sort(self._phi_order[start:])
+
+    def node_of_vertex(self, gid: int, k: int) -> int:
+        """Super-node of the ``H_k`` component containing global vertex ``gid``.
+
+        Returns ``-1`` when the vertex has no incident edge with
+        ``φ >= k``.  All edges with ``φ >= k`` incident to one vertex lie
+        in the same ``H_k`` component (they share the vertex), so it
+        suffices to start from the vertex's best edge and walk up.
+        """
+        best = int(self._vertex_best_edge[gid])
+        if best < 0 or self.phi[best] < k:
+            return -1
+        return self._ancestor_at_level(int(self.edge_node[best]), k)
+
+    def node_of_edge(self, eid: int, k: int) -> int:
+        """Super-node of the ``H_k`` component containing edge ``eid``.
+
+        Returns ``-1`` when ``φ(eid) < k``.
+        """
+        if self.phi[eid] < k:
+            return -1
+        return self._ancestor_at_level(int(self.edge_node[eid]), k)
+
+    def _ancestor_at_level(self, node: int, k: int) -> int:
+        """Highest ancestor of ``node`` whose level is still ``>= k``."""
+        parent = self.node_parent
+        level = self.node_level
+        while parent[node] >= 0 and level[parent[node]] >= k:
+            node = int(parent[node])
+        return node
+
+    def component_edges(self, node: int) -> np.ndarray:
+        """All edges of a super-node's component, ascending edge ids.
+
+        The component of a node at level k consists of every edge settling
+        in its subtree; DFS-contiguous numbering makes that one slice.
+        """
+        lo = self._node_edge_ptr[node]
+        hi = self._node_edge_ptr[self.subtree_end[node]]
+        return np.sort(self._node_edges[lo:hi])
+
+    def community_edges(self, gid: int, k: int) -> np.ndarray:
+        """Edges of the connected ``H_k`` component around a vertex.
+
+        Empty when the vertex does not reach ``H_k``.  For ``k <= 0`` the
+        component is taken at the sparsest occurring level (``H_0`` minus
+        isolated parts equals the graph's own connected components
+        restricted to edges, which is what level-0 nodes hold).
+        """
+        node = self.node_of_vertex(gid, max(k, 0))
+        if node < 0:
+            return np.empty(0, dtype=np.int64)
+        return self.component_edges(node)
+
+    def max_k_of_vertex(self, gid: int) -> int:
+        """Deepest level any incident edge of ``gid`` reaches (0 if none)."""
+        best = int(self._vertex_best_edge[gid])
+        return int(self.phi[best]) if best >= 0 else 0
+
+    def hierarchy_path(self, eid: int) -> List[Tuple[int, int]]:
+        """The edge's chain of enclosing components, innermost first.
+
+        Returns ``(level, node_id)`` pairs from the settle node of ``eid``
+        up to its forest root — the node at level k is the component of
+        ``H_k`` (and of every empty level above the next entry) containing
+        the edge.
+        """
+        node = int(self.edge_node[eid])
+        path: List[Tuple[int, int]] = []
+        while node >= 0:
+            path.append((int(self.node_level[node]), node))
+            node = int(self.node_parent[node])
+        return path
+
+    def phi_histogram(self) -> np.ndarray:
+        """``hist[k]`` — number of edges with φ exactly ``k``."""
+        if not len(self.phi):
+            return np.zeros(1, dtype=np.int64)
+        return np.bincount(self.phi, minlength=self.max_k + 1)
+
+    def level_sizes(self) -> Dict[int, int]:
+        """``{k: |E(H_k)|}`` for k = 0..max_k (cumulative, nested)."""
+        hist = self.phi_histogram()
+        suffix = np.cumsum(hist[::-1])[::-1]
+        return {k: int(suffix[k]) for k in range(len(suffix))}
+
+    # -------------------------------------------------------------- debug
+
+    def validate(self) -> None:
+        """Structural self-check used by the test suite.
+
+        Raises
+        ------
+        AssertionError
+            If DFS ranges, parent levels, or edge grouping are broken.
+        """
+        n = self.num_nodes
+        if n == 0:
+            if len(self.phi):
+                raise AssertionError("edges present but no hierarchy nodes")
+            return
+        for node in range(n):
+            parent = int(self.node_parent[node])
+            if parent >= 0:
+                if self.node_level[parent] >= self.node_level[node]:
+                    raise AssertionError("parent level must strictly decrease")
+                if not (parent < node < self.subtree_end[parent]):
+                    raise AssertionError("child outside parent's DFS range")
+            if not (node < self.subtree_end[node] <= n):
+                raise AssertionError("bad subtree range")
+        grouped = self._node_edges[
+            self._node_edge_ptr[0] : self._node_edge_ptr[-1]
+        ]
+        if len(grouped) != len(self.phi):
+            raise AssertionError("edge grouping does not cover all edges")
+        for eid in range(len(self.phi)):
+            node = int(self.edge_node[eid])
+            if self.node_level[node] != self.phi[eid]:
+                raise AssertionError("edge settled at wrong level")
+
+
+class _UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return ra
+
+
+def build_hierarchy(graph: BipartiteGraph, phi: np.ndarray) -> BitrussHierarchy:
+    """Build the containment forest from a finished decomposition.
+
+    Parameters
+    ----------
+    graph : BipartiteGraph
+        The decomposed graph.
+    phi : numpy.ndarray
+        Per-edge bitruss numbers.
+
+    Returns
+    -------
+    BitrussHierarchy
+        The flat-array forest; construction is a single φ-descending
+        union-find sweep plus one DFS renumbering.
+    """
+    # Private copy: the hierarchy freezes its φ, which must not leak into
+    # a caller-owned (possibly still writable) array.
+    phi = np.array(phi, dtype=np.int64, copy=True)
+    m = graph.num_edges
+    if len(phi) != m:
+        raise ValueError("phi must have one entry per edge")
+
+    n_l = graph.num_lower
+    edge_gu = (graph.edge_upper + n_l).tolist()
+    edge_gv = graph.edge_lower.tolist()
+    phi_list = phi.tolist()
+
+    uf = _UnionFind(graph.num_vertices)
+    comp_node: Dict[int, int] = {}  # current UF root -> its newest node
+    levels: List[int] = []
+    parents: List[int] = []
+    edge_node = np.full(m, -1, dtype=np.int64)
+
+    order = np.argsort(phi, kind="stable")
+    sorted_phi = phi[order]
+    # Occupied levels, descending; each creates the nodes of that level.
+    for k in np.unique(phi)[::-1].tolist():
+        lo = int(np.searchsorted(sorted_phi, k, side="left"))
+        hi = int(np.searchsorted(sorted_phi, k, side="right"))
+        level_eids = order[lo:hi].tolist()
+
+        # Components (from deeper levels) that this level's edges touch.
+        pre_roots = set()
+        for eid in level_eids:
+            pre_roots.add(uf.find(edge_gu[eid]))
+            pre_roots.add(uf.find(edge_gv[eid]))
+        for eid in level_eids:
+            uf.union(edge_gu[eid], edge_gv[eid])
+
+        # One new node per component that gained edges at this level.
+        new_nodes: Dict[int, int] = {}
+        for eid in level_eids:
+            root = uf.find(edge_gu[eid])
+            node = new_nodes.get(root)
+            if node is None:
+                node = len(levels)
+                levels.append(k)
+                parents.append(-1)
+                new_nodes[root] = node
+            edge_node[eid] = node
+        # Swallowed components hang their old nodes under the new one.
+        for old_root in pre_roots:
+            old_node = comp_node.pop(old_root, None)
+            if old_node is not None:
+                parents[old_node] = new_nodes[uf.find(old_root)]
+        comp_node.update(
+            (root, node) for root, node in new_nodes.items()
+        )
+
+    n_nodes = len(levels)
+    node_level = np.asarray(levels, dtype=np.int64)
+    node_parent_raw = np.asarray(parents, dtype=np.int64)
+
+    # DFS preorder renumbering: subtrees become contiguous id ranges.
+    children: List[List[int]] = [[] for _ in range(n_nodes)]
+    roots: List[int] = []
+    for node in range(n_nodes):
+        parent = int(node_parent_raw[node])
+        if parent >= 0:
+            children[parent].append(node)
+        else:
+            roots.append(node)
+    new_id = np.empty(n_nodes, dtype=np.int64)
+    dfs_level = np.empty(n_nodes, dtype=np.int64)
+    dfs_parent = np.full(n_nodes, -1, dtype=np.int64)
+    subtree_end = np.empty(n_nodes, dtype=np.int64)
+    counter = 0
+    for root in roots:
+        # (node, child-cursor) explicit stack; post-visit sets the range end.
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        new_id[root] = counter
+        dfs_level[counter] = node_level[root]
+        counter += 1
+        while stack:
+            node, cursor = stack[-1]
+            if cursor < len(children[node]):
+                stack[-1] = (node, cursor + 1)
+                child = children[node][cursor]
+                new_id[child] = counter
+                dfs_level[counter] = node_level[child]
+                dfs_parent[counter] = new_id[node]
+                counter += 1
+                stack.append((child, 0))
+            else:
+                stack.pop()
+                subtree_end[new_id[node]] = counter
+
+    if n_nodes:
+        edge_node = new_id[edge_node]
+
+    # Group edge ids by settle node (nodes already in DFS order).
+    if m:
+        grouping = np.argsort(edge_node, kind="stable")
+        node_edges = grouping.astype(np.int64)
+        node_edge_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(edge_node, minlength=n_nodes), out=node_edge_ptr[1:]
+        )
+    else:
+        node_edges = np.empty(0, dtype=np.int64)
+        node_edge_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+
+    # Per-vertex best (max-φ) incident edge: ascending-φ writes, last wins.
+    vertex_best = np.full(graph.num_vertices, -1, dtype=np.int64)
+    if m:
+        asc = order
+        vertex_best[graph.edge_lower[asc]] = asc
+        vertex_best[graph.edge_upper[asc] + n_l] = asc
+
+    return BitrussHierarchy(
+        graph,
+        phi,
+        dfs_level,
+        dfs_parent,
+        subtree_end,
+        edge_node,
+        node_edge_ptr,
+        node_edges,
+        vertex_best,
+    )

@@ -1,0 +1,151 @@
+"""Hierarchy correctness against brute-force k-bitruss extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.api import bitruss_decomposition
+from repro.core.bitruss import k_bitruss_direct
+from repro.datasets import load_dataset
+from repro.graph.generators import erdos_renyi_bipartite
+from repro.service.hierarchy import build_hierarchy
+
+from tests.conftest import bipartite_graphs
+
+
+def brute_force_component(graph, edge_ids, gid):
+    """Connected component of the edge subset touching ``gid`` (BFS)."""
+    adj = {}
+    for eid in edge_ids:
+        u, v = graph.edge_endpoints(eid)
+        gu, gv = graph.gid_of_upper(u), graph.gid_of_lower(v)
+        adj.setdefault(gu, []).append((gv, eid))
+        adj.setdefault(gv, []).append((gu, eid))
+    if gid not in adj:
+        return set()
+    seen = {gid}
+    stack = [gid]
+    edges = set()
+    while stack:
+        node = stack.pop()
+        for nbr, eid in adj[node]:
+            edges.add(eid)
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    return edges
+
+
+def check_hierarchy(graph):
+    result = bitruss_decomposition(graph, algorithm="bu-csr")
+    hierarchy = build_hierarchy(graph, result.phi)
+    hierarchy.validate()
+
+    phi = result.phi
+    levels = sorted({int(k) for k in phi} | {0, result.max_k + 1})
+    for k in levels:
+        expected = set(result.edges_with_phi_at_least(k))
+        got = hierarchy.k_bitruss_edges(k)
+        assert set(got.tolist()) == expected, f"H_{k} edge set differs"
+        assert got.tolist() == sorted(got.tolist())
+
+        # Every vertex's component must equal the BFS component of H_k.
+        edge_ids = sorted(expected)
+        for gid in range(graph.num_vertices):
+            expected_comp = brute_force_component(graph, edge_ids, gid)
+            got_comp = set(hierarchy.community_edges(gid, k).tolist())
+            assert got_comp == expected_comp, (
+                f"component of gid {gid} at k={k} differs"
+            )
+    return hierarchy
+
+
+def test_figure4_hierarchy(figure4):
+    hierarchy = check_hierarchy(figure4)
+    assert hierarchy.max_k == 2
+
+
+def test_figure1_hierarchy(figure1):
+    check_hierarchy(figure1)
+
+
+def test_random_graph_hierarchy():
+    check_hierarchy(erdos_renyi_bipartite(12, 10, 50, seed=3))
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs(max_upper=6, max_lower=6, max_edges=18))
+def test_hierarchy_matches_brute_force(graph):
+    check_hierarchy(graph)
+
+
+@pytest.mark.parametrize("name", ["github", "marvel", "condmat", "d-label"])
+def test_dataset_k_bitruss_matches_direct(name):
+    graph = load_dataset(name)
+    result = bitruss_decomposition(graph, algorithm="bu-csr")
+    hierarchy = build_hierarchy(graph, result.phi)
+    hierarchy.validate()
+    for k in (1, 2, 3, result.max_k):
+        assert hierarchy.k_bitruss_edges(k).tolist() == k_bitruss_direct(
+            graph, k
+        ), f"{name}: H_{k} differs from the iterated-filter reference"
+
+
+@pytest.mark.parametrize("name", ["github", "marvel"])
+def test_dataset_components_match_bfs(name):
+    graph = load_dataset(name)
+    result = bitruss_decomposition(graph, algorithm="bu-csr")
+    hierarchy = build_hierarchy(graph, result.phi)
+    rng = np.random.default_rng(11)
+    for k in (2, max(3, result.max_k // 2), result.max_k):
+        edge_ids = result.edges_with_phi_at_least(k)
+        for u in rng.choice(graph.num_upper, size=6, replace=False):
+            gid = graph.gid_of_upper(int(u))
+            expected = brute_force_component(graph, edge_ids, gid)
+            got = set(hierarchy.community_edges(gid, k).tolist())
+            assert got == expected
+
+
+def test_empty_graph():
+    from repro.graph.bipartite import BipartiteGraph
+
+    graph = BipartiteGraph(3, 3, [])
+    hierarchy = build_hierarchy(graph, np.empty(0, dtype=np.int64))
+    hierarchy.validate()
+    assert hierarchy.num_nodes == 0
+    assert hierarchy.k_bitruss_edges(0).tolist() == []
+    assert hierarchy.community_edges(0, 1).tolist() == []
+    assert hierarchy.max_k_of_vertex(0) == 0
+
+
+def test_parent_levels_strictly_decrease(figure4):
+    result = bitruss_decomposition(figure4)
+    hierarchy = build_hierarchy(figure4, result.phi)
+    for node in range(hierarchy.num_nodes):
+        parent = int(hierarchy.node_parent[node])
+        if parent >= 0:
+            assert hierarchy.node_level[parent] < hierarchy.node_level[node]
+
+
+def test_hierarchy_path_is_nested(figure4):
+    result = bitruss_decomposition(figure4)
+    hierarchy = build_hierarchy(figure4, result.phi)
+    for eid in range(figure4.num_edges):
+        path = hierarchy.hierarchy_path(eid)
+        assert path[0][0] == result.phi[eid]
+        levels = [level for level, _node in path]
+        assert levels == sorted(levels, reverse=True)
+        # Each enclosing component contains the previous one.
+        previous = None
+        for _level, node in path:
+            edges = set(hierarchy.component_edges(node).tolist())
+            assert eid in edges
+            if previous is not None:
+                assert previous <= edges
+            previous = edges
+
+
+def test_level_sizes_match_result_hierarchy(figure4):
+    result = bitruss_decomposition(figure4)
+    hierarchy = build_hierarchy(figure4, result.phi)
+    assert hierarchy.level_sizes() == result.hierarchy()

@@ -1,0 +1,369 @@
+"""QueryEngine parity with the recompute paths, cache, batch, staleness, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.community_search import bitruss_community, max_level_of_vertex
+from repro.apps.fraud import detect_fraud_candidates
+from repro.apps.recommendation import recommend_items, similarity_tiers
+from repro.cli import main
+from repro.core.api import bitruss_decomposition
+from repro.datasets import dataset_names, load_dataset
+from repro.maintenance.dynamic import DynamicBipartiteGraph
+from repro.service import QueryEngine, build_artifact, save_artifact
+from repro.service.artifacts import StaleArtifactError
+
+#: Every bundled dataset small enough for per-test decomposition; the
+#: acceptance bar says *all* bundled datasets, so keep this the full list.
+ALL_DATASETS = tuple(dataset_names())
+
+
+@pytest.fixture
+def engine(figure4):
+    return QueryEngine(build_artifact(figure4, algorithm="bu-csr"))
+
+
+# ------------------------------------------------------ recompute parity
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_k_bitruss_and_community_match_recompute(name):
+    graph = load_dataset(name)
+    result = bitruss_decomposition(graph, algorithm="bu-csr")
+    engine = QueryEngine.from_decomposition(result)
+
+    for k in (0, 1, 2, max(3, result.max_k // 2), result.max_k, result.max_k + 1):
+        assert engine.k_bitruss(k) == result.edges_with_phi_at_least(k), (
+            f"{name}: H_{k} differs from the recompute path"
+        )
+
+    rng = np.random.default_rng(5)
+    ks = (1, 2, result.max_k) if result.max_k >= 2 else (1,)
+    for k in ks:
+        for u in rng.choice(graph.num_upper, size=3, replace=False):
+            ref = bitruss_community(
+                graph, k=k, upper=int(u), decomposition=result
+            )
+            got = engine.community(k, upper=int(u))
+            assert ref.upper == got.upper and ref.lower == got.lower
+            assert sorted(ref.edges) == sorted(got.edges)
+        for v in rng.choice(graph.num_lower, size=3, replace=False):
+            ref = bitruss_community(
+                graph, k=k, lower=int(v), decomposition=result
+            )
+            got = engine.community(k, lower=int(v))
+            assert ref.upper == got.upper and ref.lower == got.lower
+            assert sorted(ref.edges) == sorted(got.edges)
+
+
+def test_max_k_matches_recompute(medium_random):
+    result = bitruss_decomposition(medium_random)
+    engine = QueryEngine.from_decomposition(result)
+    for u in range(medium_random.num_upper):
+        assert engine.max_k(upper=u) == max_level_of_vertex(
+            medium_random, upper=u, decomposition=result
+        )
+    for v in range(medium_random.num_lower):
+        assert engine.max_k(lower=v) == max_level_of_vertex(
+            medium_random, lower=v, decomposition=result
+        )
+
+
+def test_phi_of_and_subgraph(engine, figure4):
+    result = bitruss_decomposition(figure4)
+    for eid in range(figure4.num_edges):
+        u, v = figure4.edge_endpoints(eid)
+        assert engine.phi_of(u, v) == int(result.phi[eid])
+    sub = engine.k_bitruss_subgraph(2)
+    assert sub.num_edges == len(engine.k_bitruss(2))
+
+
+def test_empty_community_for_absent_vertex_level(engine):
+    community = engine.community(10**6, upper=0)
+    assert community.size == 0 and community.edges == []
+
+
+def test_vertex_out_of_range(engine):
+    with pytest.raises(ValueError):
+        engine.community(1, upper=10**9)
+    with pytest.raises(ValueError):
+        engine.max_k(lower=-1)
+    with pytest.raises(ValueError):
+        engine.max_k()
+    with pytest.raises(ValueError):
+        engine.community(1, upper=0, lower=0)
+
+
+# ------------------------------------------------------------ apps rewire
+
+
+def test_apps_accept_engine(medium_random):
+    engine = QueryEngine.from_graph(medium_random, algorithm="bu-csr")
+
+    ref = bitruss_community(medium_random, k=2, upper=1)
+    got = bitruss_community(k=2, upper=1, engine=engine)
+    assert ref.upper == got.upper and sorted(ref.edges) == sorted(got.edges)
+
+    assert max_level_of_vertex(medium_random, upper=1) == max_level_of_vertex(
+        upper=1, engine=engine
+    )
+
+    tiers_ref = similarity_tiers(medium_random, algorithm="bu-csr")
+    tiers_got = similarity_tiers(engine=engine)
+    assert tiers_ref.tiers == tiers_got.tiers
+
+    assert recommend_items(medium_random, 0, algorithm="bu-csr") == (
+        recommend_items(user=0, engine=engine)
+    )
+
+    pc_engine = QueryEngine.from_graph(medium_random, algorithm="bit-pc")
+    ref_report = detect_fraud_candidates(medium_random)
+    got_report = detect_fraud_candidates(engine=pc_engine)
+    assert ref_report.level == got_report.level
+    assert ref_report.users == got_report.users
+    assert sorted(ref_report.edges) == sorted(got_report.edges)
+
+
+def test_apps_reject_mismatched_graph(medium_random, figure4):
+    engine = QueryEngine.from_graph(figure4)
+    with pytest.raises(ValueError):
+        bitruss_community(medium_random, k=1, upper=0, engine=engine)
+    with pytest.raises(ValueError):
+        similarity_tiers(medium_random, engine=engine)
+    with pytest.raises(ValueError):
+        bitruss_community(k=1, upper=0)  # no graph, no engine
+
+
+# ------------------------------------------------------------------ cache
+
+
+def test_lru_cache_hits_and_eviction(figure4):
+    engine = QueryEngine(build_artifact(figure4), cache_size=2)
+    engine.k_bitruss(1)
+    engine.k_bitruss(1)
+    info = engine.cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+    engine.k_bitruss(2)
+    engine.max_k(upper=0)  # evicts k_bitruss(1), the least recent
+    assert engine.cache_info()["size"] == 2
+    engine.k_bitruss(1)
+    assert engine.cache_info()["misses"] == 4
+
+    uncached = QueryEngine(build_artifact(figure4), cache_size=0)
+    uncached.k_bitruss(1)
+    uncached.k_bitruss(1)
+    assert uncached.cache_info()["hits"] == 0
+
+
+def test_cached_lists_are_private_copies(engine):
+    first = engine.k_bitruss(1)
+    first.append(-1)
+    assert -1 not in engine.k_bitruss(1)
+
+
+def test_cached_community_is_private_copy(engine):
+    first = engine.community(2, upper=0)
+    first.upper.add(999)
+    first.edges.append((999, 999))
+    again = engine.community(2, upper=0)
+    assert 999 not in again.upper
+    assert (999, 999) not in again.edges
+
+
+# ------------------------------------------------------------------ batch
+
+
+def test_batch_mixed_workload(figure4):
+    engine = QueryEngine(build_artifact(figure4))
+    result = bitruss_decomposition(figure4)
+    u0, v0 = figure4.edge_endpoints(0)
+    answers = engine.batch(
+        [
+            {"op": "k_bitruss", "k": 2},
+            {"op": "community", "k": 2, "upper": 0},
+            {"op": "max_k", "upper": 0},
+            {"op": "hierarchy_path", "edge": [u0, v0]},
+            {"op": "phi_histogram"},
+            {"op": "stats"},
+            {"op": "phi_of", "u": u0, "v": v0},
+        ]
+    )
+    assert answers[0] == result.edges_with_phi_at_least(2)
+    assert answers[2] == max_level_of_vertex(figure4, upper=0, decomposition=result)
+    assert answers[3][0][0] == int(result.phi[0])
+    assert sum(answers[4].values()) == figure4.num_edges
+    assert answers[5]["max_k"] == result.max_k
+    assert answers[6] == int(result.phi[0])
+
+
+def test_batch_rejects_unknown_op(engine):
+    with pytest.raises(ValueError):
+        engine.batch([{"op": "drop_tables"}])
+
+
+# -------------------------------------------------------------- staleness
+
+
+def test_dynamic_update_invalidates_engine():
+    dynamic = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+    engine = QueryEngine.from_graph(dynamic.snapshot())
+    dynamic.register_artifact(engine)
+    assert engine.k_bitruss(1)  # serves fine while fresh
+
+    dynamic.insert_edge(2, 2)
+    assert engine.stale
+    with pytest.raises(StaleArtifactError):
+        engine.k_bitruss(1)
+    with pytest.raises(StaleArtifactError):
+        engine.community(1, upper=0)
+
+    engine.refresh(dynamic.snapshot())
+    assert not engine.stale
+    assert engine.graph.num_edges == 5
+
+    dynamic.delete_edge(2, 2)
+    assert engine.stale  # refresh re-registers nothing; flag came via list
+    dynamic.unregister_artifact(engine)
+    engine.refresh(dynamic.snapshot())
+    dynamic.insert_edge(2, 2)
+    assert not engine.stale  # unregistered engines stay fresh
+
+
+def test_stale_engine_blocks_all_app_paths():
+    # Apps that read engine.decomposition must hit the same staleness wall
+    # as the direct query methods — no backdoor to outdated phi.
+    dynamic = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+    engine = QueryEngine.from_graph(dynamic.snapshot())
+    dynamic.register_artifact(engine)
+    dynamic.insert_edge(2, 2)
+    with pytest.raises(StaleArtifactError):
+        engine.decomposition
+    with pytest.raises(StaleArtifactError):
+        detect_fraud_candidates(engine=engine)
+    with pytest.raises(StaleArtifactError):
+        similarity_tiers(engine=engine)
+    with pytest.raises(StaleArtifactError):
+        recommend_items(user=0, engine=engine)
+    with pytest.raises(StaleArtifactError):
+        bitruss_community(k=1, upper=0, engine=engine)
+
+
+def test_refresh_reregisters_artifact_watcher():
+    dynamic = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+    artifact = build_artifact(dynamic.snapshot())
+    dynamic.register_artifact(artifact)
+    dynamic.insert_edge(1, 1)
+    assert artifact.stale
+
+
+def test_allow_stale_keeps_serving():
+    dynamic = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+    engine = QueryEngine.from_graph(dynamic.snapshot(), allow_stale=True)
+    dynamic.register_artifact(engine)
+    dynamic.insert_edge(1, 1)
+    assert engine.stale
+    assert engine.k_bitruss(0) == [0, 1, 2]  # still the old snapshot
+
+
+def test_register_requires_invalidate():
+    dynamic = DynamicBipartiteGraph(1, 1)
+    with pytest.raises(TypeError):
+        dynamic.register_artifact(object())
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_index_and_query(tmp_path, capsys):
+    artifact_path = tmp_path / "github.npz"
+    assert main(
+        ["index", "--dataset", "github", "--algorithm", "bu-csr",
+         "--output", str(artifact_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote artifact" in out
+    assert artifact_path.exists()
+
+    assert main(["query", str(artifact_path), "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "max_k: 80" in out
+
+    assert main(
+        ["query", str(artifact_path), "k-bitruss", "-k", "60"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "60-bitruss: 459 edges" in out
+
+    graph = load_dataset("github")
+    result = bitruss_decomposition(graph, algorithm="bu-csr")
+    community = bitruss_community(
+        graph, k=4, lower=0, decomposition=result
+    )
+    assert main(
+        ["query", str(artifact_path), "community", "-k", "4", "--lower", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"{len(community.edges)} edges" in out
+
+    assert main(["query", str(artifact_path), "max-k", "--lower", "0"]) == 0
+    out = capsys.readouterr().out
+    assert str(max_level_of_vertex(graph, lower=0, decomposition=result)) in out
+
+    assert main(["query", str(artifact_path), "histogram"]) == 0
+    assert "phi=0:" in capsys.readouterr().out
+
+    u, v = graph.edge_endpoints(0)
+    assert main(
+        ["query", str(artifact_path), "path", "--edge", str(u), str(v)]
+    ) == 0
+    assert f"phi = {int(result.phi[0])}" in capsys.readouterr().out
+
+
+def test_cli_index_from_file(tmp_path, capsys):
+    from repro.graph.io import save_edge_list
+
+    graph = load_dataset("marvel")
+    graph_path = tmp_path / "marvel.txt"
+    save_edge_list(graph, graph_path, base=1)
+    artifact_path = tmp_path / "marvel.npz"
+    # File positional + option flags + --output in one call (regression:
+    # a second positional here was unparseable).
+    assert main(
+        ["index", str(graph_path), "--base", "1", "--algorithm", "bu-csr",
+         "--output", str(artifact_path)]
+    ) == 0
+    capsys.readouterr()
+    result = bitruss_decomposition(graph, algorithm="bu-csr")
+    assert main(["query", str(artifact_path), "stats"]) == 0
+    assert f"max_k: {result.max_k}" in capsys.readouterr().out
+
+
+def test_cli_query_batch(tmp_path, capsys):
+    artifact_path = tmp_path / "marvel.npz"
+    save_artifact(build_artifact(load_dataset("marvel")), artifact_path)
+    queries = tmp_path / "queries.json"
+    queries.write_text(json.dumps(
+        [{"op": "max_k", "upper": 0}, {"op": "community", "k": 2, "upper": 0}]
+    ))
+    assert main(["query", str(artifact_path), "batch", str(queries)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload[0], int)
+    assert set(payload[1]) == {"k", "upper", "lower", "edges"}
+
+
+def test_cli_query_rejects_non_artifact(tmp_path):
+    bogus = tmp_path / "bogus.npz"
+    np.savez(bogus, foo=np.arange(2))
+    with pytest.raises(SystemExit):
+        main(["query", str(bogus), "stats"])
+
+
+def test_cli_query_path_unknown_edge(tmp_path):
+    artifact_path = tmp_path / "fig.npz"
+    save_artifact(
+        build_artifact(load_dataset("marvel")), artifact_path
+    )
+    with pytest.raises(SystemExit):
+        main(["query", str(artifact_path), "path", "--edge", "0", "999999"])
