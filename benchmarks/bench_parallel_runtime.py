@@ -1,0 +1,212 @@
+"""Shared-memory runtime vs. the scalar paths (the PR-3 tentpole measurement).
+
+Three measurements on the dense generator workload (the regime the runtime
+targets — large two-hop frontiers amortize both the vectorized shard
+kernels and the per-task IPC):
+
+* **counting** — scalar ``count_per_edge`` against the runtime's
+  shard-parallel counting at 1/2/4 workers.  The contract from ISSUE 3 is
+  asserted here: **>= 2x at 4 workers over the scalar path**.  On a
+  single-core machine that margin comes entirely from the vectorized range
+  kernel the workers run against their zero-copy views; on real multicore
+  hardware the shard parallelism multiplies on top.
+* **offline indexing** — sequential ``CSRPeelingEngine.build`` against the
+  runtime's sharded BE-Index construction, with every assembled array
+  asserted bitwise identical.
+* **decomposition** — ``bit-bu-csr`` against ``bit-bu-par``, phi asserted
+  bitwise identical; additionally asserted on **every bundled dataset**
+  (the acceptance criterion), where the level-synchronous peeler must
+  agree with the scalar engine whatever the graph shape.
+
+Results land in ``benchmarks/results/BENCH_parallel_runtime.json`` —
+machine-readable, schema documented in ``docs/benchmarks.md``.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._shared import RESULTS_DIR
+from repro.butterfly.counting import count_per_edge
+from repro.core.bit_bu_batch import bit_bu_csr
+from repro.core.peeling_engine import CSRPeelingEngine
+from repro.datasets import dataset_names, load_dataset
+from repro.graph.generators import nested_communities
+from repro.runtime import ParallelRuntime, bit_bu_par, is_available
+
+pytestmark = pytest.mark.skipif(
+    not is_available(), reason="POSIX shared memory unavailable"
+)
+
+#: The dense generator workload: same nested-block structure as
+#: ``bench_csr_peeling`` scaled ~4x, so each worker's shards carry enough
+#: frontier work to amortize task dispatch.
+DENSE_SPEC = dict(
+    blocks=[(120, 160, 0.5), (50, 60, 0.8), (20, 24, 1.0)],
+    noise_edges=400,
+    seed=42,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_FLOOR = 2.0
+ENGINE_ARRAYS = (
+    "support",
+    "pair_e1",
+    "pair_e2",
+    "pair_bloom",
+    "bloom_k",
+    "e_indptr",
+    "e_pair",
+    "b_indptr",
+    "b_pair",
+)
+
+
+def dense_workload():
+    return nested_communities(
+        DENSE_SPEC["blocks"],
+        noise_edges=DENSE_SPEC["noise_edges"],
+        seed=DENSE_SPEC["seed"],
+    )
+
+
+def _best_of(fn, repeats=2):
+    """(result, best seconds) over ``repeats`` runs — symmetric best-of so a
+    noisy-neighbour pause during one run cannot fail CI on a non-defect."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+@pytest.mark.benchmark(group="parallel_runtime")
+def test_parallel_runtime_contract(benchmark):
+    graph = dense_workload()
+
+    def run_all():
+        # Warm the shared caches first: both sides reuse the sorted CSR and
+        # priorities, so neither is billed for the one-time build.
+        graph.csr_gid_sorted_with_prios()
+
+        record = {
+            "workload": {
+                "name": "dense-nested",
+                "num_upper": graph.num_upper,
+                "num_lower": graph.num_lower,
+                "num_edges": graph.num_edges,
+                "spec": {k: str(v) for k, v in DENSE_SPEC.items()},
+            },
+        }
+
+        # -- counting -------------------------------------------------
+        reference, scalar_s = _best_of(lambda: count_per_edge(graph))
+        record["scalar_counting_seconds"] = scalar_s
+        record["runtime_counting"] = []
+        for workers in WORKER_COUNTS:
+            t0 = time.perf_counter()
+            with ParallelRuntime(graph, workers=workers) as runtime:
+                setup_s = time.perf_counter() - t0
+                runtime.count_per_edge()  # first call warms worker attaches
+                counted, par_s = _best_of(runtime.count_per_edge)
+            np.testing.assert_array_equal(counted, reference)
+            record["runtime_counting"].append(
+                {
+                    "workers": workers,
+                    "setup_seconds": setup_s,
+                    "seconds": par_s,
+                    "speedup_vs_scalar": scalar_s / max(par_s, 1e-9),
+                }
+            )
+
+        # -- offline indexing (BE-Index build) ------------------------
+        sequential, seq_build_s = _best_of(lambda: CSRPeelingEngine.build(graph))
+        with ParallelRuntime(graph, workers=4) as runtime:
+            runtime.build_engine()  # warm
+            parallel, par_build_s = _best_of(runtime.build_engine)
+        for name in ENGINE_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(parallel, name), getattr(sequential, name), err_msg=name
+            )
+        record["index_build"] = {
+            "workers": 4,
+            "scalar_seconds": seq_build_s,
+            "parallel_seconds": par_build_s,
+            "identical_arrays": True,
+        }
+
+        # -- decomposition -------------------------------------------
+        csr_result, csr_s = _best_of(lambda: bit_bu_csr(graph), repeats=1)
+        par_result, par_peel_s = _best_of(
+            lambda: bit_bu_par(graph, workers=4), repeats=1
+        )
+        np.testing.assert_array_equal(csr_result.phi, par_result.phi)
+        record["decomposition"] = {
+            "workers": 4,
+            "bit_bu_csr_seconds": csr_s,
+            "bit_bu_par_seconds": par_peel_s,
+            "phi_identical": True,
+        }
+
+        record["contract"] = {
+            "required_speedup_at_4_workers": SPEEDUP_FLOOR,
+            "measured_speedup_at_4_workers": record["runtime_counting"][-1][
+                "speedup_vs_scalar"
+            ],
+        }
+        return record
+
+    record = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    measured = record["contract"]["measured_speedup_at_4_workers"]
+    assert measured >= SPEEDUP_FLOOR, (
+        f"expected >={SPEEDUP_FLOOR}x at 4 workers over the scalar counting "
+        f"path, got {measured:.2f}x "
+        f"(scalar {record['scalar_counting_seconds']:.3f}s, "
+        f"parallel {record['runtime_counting'][-1]['seconds']:.3f}s)"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_parallel_runtime.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    for row in record["runtime_counting"]:
+        print(
+            f"  counting workers={row['workers']}: {row['seconds']:.3f}s "
+            f"({row['speedup_vs_scalar']:.2f}x vs scalar "
+            f"{record['scalar_counting_seconds']:.3f}s)"
+        )
+
+
+@pytest.mark.benchmark(group="parallel_runtime")
+def test_parallel_phi_identical_on_all_bundled_datasets(benchmark):
+    """The acceptance bar: bit-bu-par == bit-bu-csr on every bundled dataset."""
+
+    def run_parity():
+        parity = {}
+        for name in dataset_names():
+            graph = load_dataset(name)
+            reference = bit_bu_csr(graph)
+            parallel = bit_bu_par(graph, workers=2)
+            np.testing.assert_array_equal(
+                reference.phi, parallel.phi, err_msg=name
+            )
+            parity[name] = {
+                "num_edges": graph.num_edges,
+                "max_k": reference.max_k,
+                "identical": True,
+            }
+        return parity
+
+    parity = benchmark.pedantic(run_parity, rounds=1, iterations=1)
+
+    out = RESULTS_DIR / "BENCH_parallel_runtime.json"
+    if out.exists():
+        record = json.loads(out.read_text())
+        record["parity"] = {"workers": 2, "datasets": parity}
+        out.write_text(json.dumps(record, indent=2) + "\n")
+    assert all(entry["identical"] for entry in parity.values())

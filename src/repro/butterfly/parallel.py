@@ -1,45 +1,32 @@
-"""Process-parallel butterfly counting.
+"""Process-parallel butterfly counting (thin wrapper over the runtime).
 
 The paper cites parallel butterfly computation ([26], Shi & Shun) as the
-scalability frontier; this module provides the embarrassingly-parallel part
-of it: the vertex-priority counting traversal is independent per start
-vertex, so start vertices are partitioned across worker processes and the
-per-edge partial supports are summed.
+scalability frontier; the heavy lifting now lives in :mod:`repro.runtime`:
+a :class:`~repro.runtime.pool.ParallelRuntime` publishes the graph's
+priority-sorted CSR arrays into shared memory once and keeps a persistent
+worker pool attached zero-copy.  The historical cost model — the full edge
+list pickled to every worker, a :class:`BipartiteGraph` rebuilt (CSR sort,
+priority ranking and all) per process, break-even around a second of
+counting work — is gone; workers ``mmap`` the already-sorted arrays and
+run the vectorized range kernel directly.
 
-Because workers are *processes* (CPython threads would serialize on the
-GIL), the graph is shipped once per worker; the break-even point is
-therefore on the order of a second of single-core counting work.  The
-helper refuses silly configurations (0 workers) but deliberately allows
-``workers=1`` as an in-process fallback that skips the pool entirely.
+This module keeps the original entry point and semantics:
+``count_per_edge_parallel`` has the same signature, partial supports are
+still merged deterministically in ascending start-range order, and
+``workers=1`` remains the in-process fallback that skips the pool (and the
+shared-memory machinery) entirely — also the fallback on platforms without
+POSIX shared memory.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+import warnings
 
 import numpy as np
 
 from repro.butterfly.counting import count_per_edge
 from repro.graph.bipartite import BipartiteGraph
-
-# Worker state (set once per process by the pool initializer).  Each worker
-# rebuilds the graph from the shipped edge list — processes share no memory —
-# and then reads the graph's own cached CSR arrays, exactly like the
-# single-process path.
-_worker_graph: Optional[BipartiteGraph] = None
-
-
-def _init_worker(edges, num_upper, num_lower) -> None:
-    global _worker_graph
-    _worker_graph = BipartiteGraph(num_upper, num_lower, edges)
-    _worker_graph.csr_gid_sorted()  # warm the shared CSR + priority caches
-
-
-def _count_range(bounds: Tuple[int, int]) -> np.ndarray:
-    """Partial per-edge supports from start vertices in [lo, hi)."""
-    assert _worker_graph is not None
-    return count_per_edge(_worker_graph, start_range=bounds)
+from repro.runtime.shm import is_available
 
 
 def count_per_edge_parallel(
@@ -53,30 +40,26 @@ def count_per_edge_parallel(
     Equivalent to :func:`repro.butterfly.counting.count_per_edge`.  Start
     vertices are split into ``workers * chunks_per_worker`` contiguous
     ranges for load balancing (high-priority vertices cluster at the top of
-    the gid range on skewed graphs).
+    the gid range on skewed graphs); each range runs the vectorized kernel
+    against the worker's zero-copy view of the shared CSR arrays, and the
+    partial supports are summed in range order.
     """
     if workers < 1:
         raise ValueError("workers must be positive")
-    if workers == 1:
+    if workers > 1 and not is_available():
+        warnings.warn(
+            "POSIX shared memory unavailable; counting in-process instead "
+            f"of across {workers} workers",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
+    if workers == 1 or graph.num_vertices == 0:
         return count_per_edge(graph)
-    n = graph.num_vertices
-    if n == 0:
-        return np.zeros(graph.num_edges, dtype=np.int64)
 
-    num_chunks = max(1, min(n, workers * chunks_per_worker))
-    bounds: List[Tuple[int, int]] = []
-    step = (n + num_chunks - 1) // num_chunks
-    for lo in range(0, n, step):
-        bounds.append((lo, min(lo + step, n)))
+    from repro.runtime.pool import ParallelRuntime
 
-    edges = graph.to_edge_list()
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(edges, graph.num_upper, graph.num_lower),
-    ) as pool:
-        partials = list(pool.map(_count_range, bounds))
-    total = np.zeros(graph.num_edges, dtype=np.int64)
-    for part in partials:
-        total += part
-    return total
+    with ParallelRuntime(
+        graph, workers=workers, chunks_per_worker=chunks_per_worker
+    ) as runtime:
+        return runtime.count_per_edge()

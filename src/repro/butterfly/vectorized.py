@@ -79,27 +79,28 @@ def gather_two_hop(
     return ends, end_edges, wedge_mid_edge
 
 
-def count_per_edge_vectorized(
-    graph: BipartiteGraph,
-    *,
-    priorities: Optional[np.ndarray] = None,
+def count_range_on_arrays(
+    indptr: np.ndarray,
+    neighbors: np.ndarray,
+    edge_ids: np.ndarray,
+    row_prios: np.ndarray,
+    prio: np.ndarray,
+    num_edges: int,
+    start_lo: int,
+    start_hi: int,
 ) -> np.ndarray:
-    """Butterfly support of every edge (vectorized vertex-priority).
+    """Partial per-edge supports from start vertices in ``[start_lo, start_hi)``.
 
-    Exactly equivalent to :func:`repro.butterfly.counting.count_per_edge`.
+    The kernel underneath :func:`count_per_edge_vectorized`, phrased over
+    raw priority-sorted gid-CSR arrays instead of a graph object so that
+    shared-memory workers (:mod:`repro.runtime`) can run it against
+    attached views without rebuilding a :class:`BipartiteGraph`.  Summing
+    the partial arrays of a disjoint start-range partition reproduces the
+    full supports exactly (integer contributions are per start vertex).
     """
-    n = graph.num_vertices
-    support = np.zeros(graph.num_edges, dtype=np.int64)
-    if n == 0 or graph.num_edges == 0:
-        return support
-    prio = (
-        np.asarray(priorities) if priorities is not None else graph.priorities()
-    )
-    indptr, neighbors, edge_ids, row_prios = graph.csr_gid_sorted_with_prios(
-        priorities
-    )
-
-    for start in range(n):
+    n = len(indptr) - 1
+    support = np.zeros(num_edges, dtype=np.int64)
+    for start in range(start_lo, start_hi):
         frontier = gather_two_hop(
             indptr, neighbors, edge_ids, row_prios, start, prio[start]
         )
@@ -118,6 +119,29 @@ def count_per_edge_vectorized(
         np.add.at(support, end_edges[active], contrib[active])
         np.add.at(support, wedge_mid_edge[active], contrib[active])
     return support
+
+
+def count_per_edge_vectorized(
+    graph: BipartiteGraph,
+    *,
+    priorities: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Butterfly support of every edge (vectorized vertex-priority).
+
+    Exactly equivalent to :func:`repro.butterfly.counting.count_per_edge`.
+    """
+    n = graph.num_vertices
+    if n == 0 or graph.num_edges == 0:
+        return np.zeros(graph.num_edges, dtype=np.int64)
+    prio = (
+        np.asarray(priorities) if priorities is not None else graph.priorities()
+    )
+    indptr, neighbors, edge_ids, row_prios = graph.csr_gid_sorted_with_prios(
+        priorities
+    )
+    return count_range_on_arrays(
+        indptr, neighbors, edge_ids, row_prios, prio, graph.num_edges, 0, n
+    )
 
 
 def count_total_vectorized(

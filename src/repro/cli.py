@@ -18,12 +18,19 @@ Examples
 ::
 
     repro-bitruss decompose --dataset github --algorithm pc --tau 0.05
+    repro-bitruss decompose --dataset github --workers 4
     repro-bitruss decompose graph.txt --base 1 --output phi.txt
     repro-bitruss stats --dataset d-style
     repro-bitruss generate d-label d-label.txt
     repro-bitruss index --dataset github --algorithm bu-csr --output github.npz
+    repro-bitruss index --dataset github --workers 4 --output github.npz
     repro-bitruss query github.npz community -k 4 --upper 17
     repro-bitruss query github.npz k-bitruss -k 6 --output h6.txt
+
+``decompose`` and ``index`` accept ``--workers N`` (default 1): with more
+than one worker the shared-memory runtime (:mod:`repro.runtime`) shards
+the work across a persistent zero-copy process pool via the
+``bit-bu-par`` algorithm.
 """
 
 from __future__ import annotations
@@ -66,13 +73,46 @@ def _add_input_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _resolve_algorithm(args: argparse.Namespace, serial_default: str) -> str:
+    """Resolve the ``--algorithm/--workers`` pair to an algorithm name.
+
+    ``--workers N`` with N > 1 selects the shared-memory runtime, which
+    only ``bit-bu-par`` implements: when the user left ``--algorithm`` at
+    its default, it resolves to ``bit-bu-par``; an explicit serial choice
+    plus ``--workers`` is a contradiction and exits with guidance instead
+    of silently running single-core.
+    """
+    from repro.core.api import ALGORITHMS, PARALLEL_ALGORITHMS
+
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if workers > 1:
+        from repro.runtime import is_available
+
+        if not is_available():
+            raise SystemExit(
+                "--workers needs POSIX shared memory, which this platform "
+                "lacks; rerun with --workers 1 (the scalar path)"
+            )
+    if args.algorithm is None:
+        return "bit-bu-par" if workers > 1 else serial_default
+    if workers > 1 and ALGORITHMS[args.algorithm] not in PARALLEL_ALGORITHMS:
+        raise SystemExit(
+            f"--workers {workers} needs a parallel-capable algorithm; "
+            f"drop --algorithm {args.algorithm} or use --algorithm bu-par"
+        )
+    return args.algorithm
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     counter = UpdateCounter()
     result = bitruss_decomposition(
         graph,
-        algorithm=args.algorithm,
+        algorithm=_resolve_algorithm(args, "bit-bu++"),
         tau=args.tau,
+        workers=args.workers,
         counter=counter,
     )
     print(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
@@ -162,7 +202,12 @@ def _cmd_index(args: argparse.Namespace) -> int:
     from repro.service import build_artifact, save_artifact
 
     graph = _load_graph(args)
-    artifact = build_artifact(graph, algorithm=args.algorithm, tau=args.tau)
+    artifact = build_artifact(
+        graph,
+        algorithm=_resolve_algorithm(args, "bit-bu++"),
+        tau=args.tau,
+        workers=args.workers,
+    )
     save_artifact(artifact, args.output)
     print(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
     print(f"algorithm: {artifact.algorithm}")
@@ -305,9 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_options(p_dec)
     p_dec.add_argument(
         "--algorithm",
-        default="bit-bu++",
+        default=None,
         choices=sorted(ALGORITHMS),
-        help="decomposition algorithm (default bit-bu++)",
+        help="decomposition algorithm (default bit-bu++; "
+        "bit-bu-par when --workers > 1)",
+    )
+    p_dec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the shared-memory runtime "
+        "(default 1 = in-process scalar path)",
     )
     p_dec.add_argument("--tau", type=float, default=0.02, help="BiT-PC tau")
     p_dec.add_argument("--output", help="write per-edge bitruss numbers here")
@@ -362,9 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_options(p_idx)
     p_idx.add_argument(
         "--algorithm",
-        default="bit-bu++",
+        default=None,
         choices=sorted(ALGORITHMS),
-        help="decomposition algorithm (default bit-bu++)",
+        help="decomposition algorithm (default bit-bu++; "
+        "bit-bu-par when --workers > 1)",
+    )
+    p_idx.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the offline build "
+        "(default 1 = in-process scalar path)",
     )
     p_idx.add_argument("--tau", type=float, default=0.02, help="BiT-PC tau")
     # An --output flag, not a second positional: the input path is already

@@ -56,6 +56,96 @@ from repro.utils.bucket_queue import BucketQueue
 from repro.utils.stats import UpdateCounter
 
 
+#: One shard of the flat-array BE-Index under construction: the partial
+#: per-edge supports contributed by a contiguous start-vertex range plus the
+#: wedge pairs discovered there (bloom ids numbered locally from 0).
+BuildShard = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def build_shard_on_arrays(
+    indptr: np.ndarray,
+    neighbors: np.ndarray,
+    edge_ids: np.ndarray,
+    row_prios: np.ndarray,
+    prio: np.ndarray,
+    num_edges: int,
+    start_lo: int,
+    start_hi: int,
+) -> BuildShard:
+    """Algorithm 3 over one start-vertex range, on raw gid-CSR arrays.
+
+    The construction kernel underneath :meth:`CSRPeelingEngine.build`,
+    phrased over arrays (not a graph object) so shared-memory workers can
+    run it against attached views.  Returns
+    ``(support, pair_e1, pair_e2, pair_bloom, bloom_k)`` where ``support``
+    is the full-length partial support array and ``pair_bloom`` numbers
+    blooms locally from 0 in discovery order.  Because maximal
+    priority-obeyed blooms are anchored at exactly one start vertex,
+    shards over a disjoint range partition compose losslessly: summing
+    supports and concatenating pair/bloom arrays in ascending range order
+    (with bloom-id offsets) reproduces the sequential build bit for bit.
+    """
+    support = np.zeros(num_edges, dtype=np.int64)
+    pair_e1_parts: List[np.ndarray] = []
+    pair_e2_parts: List[np.ndarray] = []
+    pair_bloom_parts: List[np.ndarray] = []
+    bloom_k_parts: List[np.ndarray] = []
+    next_bloom = 0
+
+    for start in range(start_lo, start_hi):
+        frontier = gather_two_hop(
+            indptr, neighbors, edge_ids, row_prios, start, prio[start]
+        )
+        if frontier is None:
+            continue
+        ends, end_edges, wedge_mid_edge = frontier
+
+        # Group the wedges of this start by end vertex: each group of
+        # size k >= 2 is one maximal priority-obeyed bloom.
+        order = np.argsort(ends, kind="stable")
+        sorted_ends = ends[order]
+        sorted_end_edges = end_edges[order]
+        sorted_mid_edges = wedge_mid_edge[order]
+        boundary = np.empty(len(sorted_ends), dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_ends[1:], sorted_ends[:-1], out=boundary[1:])
+        run_ids = np.cumsum(boundary) - 1
+        run_starts = np.nonzero(boundary)[0]
+        run_lengths = np.diff(np.append(run_starts, len(sorted_ends)))
+
+        k_per_wedge = run_lengths[run_ids]
+        active = k_per_wedge >= 2
+        if not active.any():
+            continue
+        contrib = k_per_wedge[active] - 1
+        np.add.at(support, sorted_end_edges[active], contrib)
+        np.add.at(support, sorted_mid_edges[active], contrib)
+
+        run_is_active = run_lengths >= 2
+        bloom_of_run = np.full(len(run_lengths), -1, dtype=np.int64)
+        n_active = int(run_is_active.sum())
+        bloom_of_run[run_is_active] = next_bloom + np.arange(
+            n_active, dtype=np.int64
+        )
+        next_bloom += n_active
+
+        pair_e1_parts.append(sorted_mid_edges[active])
+        pair_e2_parts.append(sorted_end_edges[active])
+        pair_bloom_parts.append(bloom_of_run[run_ids[active]])
+        bloom_k_parts.append(run_lengths[run_is_active])
+
+    empty = np.empty(0, dtype=np.int64)
+    if pair_bloom_parts:
+        return (
+            support,
+            np.concatenate(pair_e1_parts),
+            np.concatenate(pair_e2_parts),
+            np.concatenate(pair_bloom_parts),
+            np.concatenate(bloom_k_parts),
+        )
+    return support, empty, empty, empty, empty
+
+
 def _gather_rows(
     indptr: np.ndarray, data: np.ndarray, rows: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -119,11 +209,11 @@ class CSRPeelingEngine:
         :meth:`repro.index.be_index.BEIndex.build` (Algorithm 3), but
         collects wedge groups with ``np.argsort`` run detection and scatters
         the per-edge supports with ``np.add.at`` — no Bloom dictionaries are
-        ever materialized.
+        ever materialized.  The traversal itself is one call to
+        :func:`build_shard_on_arrays` over the whole start range; the
+        shared-memory runtime builds the same engine from several
+        range shards (:meth:`from_shards`).
         """
-        m = graph.num_edges
-        n = graph.num_vertices
-        support = np.zeros(m, dtype=np.int64)
         prio = (
             np.asarray(priorities)
             if priorities is not None
@@ -132,54 +222,44 @@ class CSRPeelingEngine:
         indptr, neighbors, edge_ids, row_prios = graph.csr_gid_sorted_with_prios(
             priorities
         )
+        shard = build_shard_on_arrays(
+            indptr,
+            neighbors,
+            edge_ids,
+            row_prios,
+            prio,
+            graph.num_edges,
+            0,
+            graph.num_vertices,
+        )
+        return cls.from_shards(graph.num_edges, [shard])
 
+    @classmethod
+    def from_shards(
+        cls, num_edges: int, shards: List[BuildShard]
+    ) -> "CSRPeelingEngine":
+        """Assemble an engine from :func:`build_shard_on_arrays` outputs.
+
+        ``shards`` must cover a disjoint partition of the start-vertex
+        space and be listed in ascending range order; the assembled arrays
+        (bloom numbering included) are then bitwise identical to a
+        single-shard sequential build.
+        """
+        m = num_edges
+        support = np.zeros(m, dtype=np.int64)
         pair_e1_parts: List[np.ndarray] = []
         pair_e2_parts: List[np.ndarray] = []
         pair_bloom_parts: List[np.ndarray] = []
         bloom_k_parts: List[np.ndarray] = []
         next_bloom = 0
-
-        for start in range(n):
-            frontier = gather_two_hop(
-                indptr, neighbors, edge_ids, row_prios, start, prio[start]
-            )
-            if frontier is None:
-                continue
-            ends, end_edges, wedge_mid_edge = frontier
-
-            # Group the wedges of this start by end vertex: each group of
-            # size k >= 2 is one maximal priority-obeyed bloom.
-            order = np.argsort(ends, kind="stable")
-            sorted_ends = ends[order]
-            sorted_end_edges = end_edges[order]
-            sorted_mid_edges = wedge_mid_edge[order]
-            boundary = np.empty(len(sorted_ends), dtype=bool)
-            boundary[0] = True
-            np.not_equal(sorted_ends[1:], sorted_ends[:-1], out=boundary[1:])
-            run_ids = np.cumsum(boundary) - 1
-            run_starts = np.nonzero(boundary)[0]
-            run_lengths = np.diff(np.append(run_starts, len(sorted_ends)))
-
-            k_per_wedge = run_lengths[run_ids]
-            active = k_per_wedge >= 2
-            if not active.any():
-                continue
-            contrib = k_per_wedge[active] - 1
-            np.add.at(support, sorted_end_edges[active], contrib)
-            np.add.at(support, sorted_mid_edges[active], contrib)
-
-            run_is_active = run_lengths >= 2
-            bloom_of_run = np.full(len(run_lengths), -1, dtype=np.int64)
-            n_active = int(run_is_active.sum())
-            bloom_of_run[run_is_active] = next_bloom + np.arange(
-                n_active, dtype=np.int64
-            )
-            next_bloom += n_active
-
-            pair_e1_parts.append(sorted_mid_edges[active])
-            pair_e2_parts.append(sorted_end_edges[active])
-            pair_bloom_parts.append(bloom_of_run[run_ids[active]])
-            bloom_k_parts.append(run_lengths[run_is_active])
+        for part_support, e1, e2, bloom_local, bloom_k_part in shards:
+            support += part_support
+            if len(bloom_local):
+                pair_e1_parts.append(e1)
+                pair_e2_parts.append(e2)
+                pair_bloom_parts.append(bloom_local + next_bloom)
+                bloom_k_parts.append(bloom_k_part)
+                next_bloom += len(bloom_k_part)
 
         if pair_bloom_parts:
             pair_e1 = np.concatenate(pair_e1_parts)
@@ -390,21 +470,36 @@ class CSRPeelingEngine:
                 loss_edges.append(self.pair_e2[pairs_s])
                 loss_values.append(charge_s)
             self.bloom_k[touched] -= c_removed
-            # Apply the accumulated losses, floored at the batch minimum.
-            if loss_edges:
-                edges_cat = np.concatenate(loss_edges)
-                values_cat = np.concatenate(loss_values)
-                changed, inverse = np.unique(edges_cat, return_inverse=True)
-                totals = np.zeros(len(changed), dtype=np.int64)
-                np.add.at(totals, inverse, values_cat)
-                new_values = np.maximum(mbs, self.support[changed] - totals)
-                moved = new_values != self.support[changed]
-                self.support[changed] = new_values
-                for edge, value in zip(
-                    changed[moved].tolist(), new_values[moved].tolist()
-                ):
-                    queue.update(edge, value)
-                    if counter is not None:
-                        counter.record(edge)
+            self._apply_losses(loss_edges, loss_values, mbs, queue, counter)
         finally:
             in_batch[batch_arr] = False
+
+    def _apply_losses(
+        self,
+        loss_edges: List[np.ndarray],
+        loss_values: List[np.ndarray],
+        mbs: int,
+        queue: BucketQueue,
+        counter: Optional[UpdateCounter],
+    ) -> None:
+        """Merge (edge, amount) loss fragments and apply them, floored at
+        the batch minimum ``mbs`` — one ``np.add.at`` regardless of how the
+        fragments were produced.  Shared by the in-process batch step and
+        the sharded waves of :mod:`repro.runtime.parallel_peeling`, so the
+        bitwise-identity guarantee between the two cannot drift."""
+        if not loss_edges:
+            return
+        edges_cat = np.concatenate(loss_edges)
+        values_cat = np.concatenate(loss_values)
+        changed, inverse = np.unique(edges_cat, return_inverse=True)
+        totals = np.zeros(len(changed), dtype=np.int64)
+        np.add.at(totals, inverse, values_cat)
+        new_values = np.maximum(mbs, self.support[changed] - totals)
+        moved = new_values != self.support[changed]
+        self.support[changed] = new_values
+        for edge, value in zip(
+            changed[moved].tolist(), new_values[moved].tolist()
+        ):
+            queue.update(edge, value)
+            if counter is not None:
+                counter.record(edge)

@@ -1,0 +1,34 @@
+"""repro.runtime — zero-copy shared-memory parallel execution.
+
+The compute pillar of the system (PR 1 added CSR storage, PR 2 the serving
+layer): a persistent worker pool (:class:`ParallelRuntime`) that publishes
+the graph's frozen CSR arrays into ``multiprocessing.shared_memory`` once
+and lets every worker attach zero-copy.  On top of it ride shard-parallel
+butterfly counting, parallel BE-Index construction and the
+level-synchronous ``bit-bu-par`` decomposition.
+
+Use :func:`is_available` to gate callers on platforms without POSIX shared
+memory: ``butterfly.parallel`` falls back to in-process counting (with a
+``RuntimeWarning``), while the CLI and the service layer fail fast with a
+clear message rather than silently running single-core.
+"""
+
+from repro.runtime.parallel_counting import (
+    build_engine_shards,
+    count_per_edge_shards,
+)
+from repro.runtime.parallel_peeling import bit_bu_par, parallel_peel
+from repro.runtime.pool import ParallelRuntime, RuntimeClosedError
+from repro.runtime.shm import ArenaManifest, ShmArena, is_available
+
+__all__ = [
+    "ArenaManifest",
+    "ParallelRuntime",
+    "RuntimeClosedError",
+    "ShmArena",
+    "bit_bu_par",
+    "build_engine_shards",
+    "count_per_edge_shards",
+    "is_available",
+    "parallel_peel",
+]

@@ -1,0 +1,323 @@
+"""The persistent worker-pool runtime over shared-memory CSR arrays.
+
+A :class:`ParallelRuntime` freezes one graph's traversal state — the
+priority-sorted gid CSR (``indptr``/``indices``/``edge_ids``), the per-slot
+neighbour priorities and the Definition 7 vertex ranking — into a single
+:class:`~repro.runtime.shm.ShmArena` segment, then keeps a pool of worker
+processes alive for the graph's lifetime.  Every task a worker runs
+*attaches* those arrays zero-copy (a few-microsecond ``mmap`` per worker,
+cached across tasks) instead of receiving a pickled edge list and
+rebuilding a :class:`~repro.graph.bipartite.BipartiteGraph` per process —
+the cost model that made the old ``butterfly.parallel`` path break even
+only after ~a second of counting work.
+
+On top of the pool, :mod:`repro.runtime.parallel_counting` shards butterfly
+counting and BE-Index construction, and
+:mod:`repro.runtime.parallel_peeling` runs level-synchronous parallel
+peeling (additional arenas, e.g. the mutable peeling state, can be
+published through :meth:`ParallelRuntime.publish`).
+
+Worker-side state is one process-local attachment cache keyed by segment
+name; task functions carry the (tiny, picklable) manifests with them, so
+the pool never needs re-initialization when new arenas appear.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.runtime.shm import ArenaManifest, ShmArena, is_available
+
+#: Keys of the graph arrays every runtime publishes.
+GRAPH_ARRAY_KEYS = ("indptr", "indices", "edge_ids", "row_prios", "prio")
+
+# ---------------------------------------------------------------- worker side
+
+#: Process-local attachment cache: segment name -> (arena, views dict).
+#: Populated inside worker processes only; fork-inherited parent entries are
+#: impossible because the parent stores owner arenas elsewhere.
+_ATTACHED: Dict[str, ShmArena] = {}
+
+
+def attached_views(manifest: ArenaManifest) -> Dict[str, np.ndarray]:
+    """Read-only views of an arena, attached once per worker process."""
+    arena = _ATTACHED.get(manifest.segment)
+    if arena is None or arena.closed:
+        _evict_unlinked()
+        arena = ShmArena.attach(manifest)
+        _ATTACHED[manifest.segment] = arena
+    return {key: arena.view(key) for key in manifest.keys()}
+
+
+def _evict_unlinked() -> None:
+    """Drop cached attachments whose segment the owner has unlinked.
+
+    A long-lived runtime publishes a fresh peeling arena per peel; without
+    this sweep each worker would keep the unlinked segments' pages mapped
+    (and their memory alive) until pool shutdown.  Run only on new
+    attaches, so steady-state tasks stay syscall-free.
+    """
+    for name in [n for n, a in _ATTACHED.items() if a.closed or not _segment_exists(n)]:
+        _ATTACHED.pop(name).close()
+
+
+def _segment_exists(name: str) -> bool:
+    if not os.path.isdir("/dev/shm"):
+        # No cheap probe (e.g. macOS shm has no filesystem view): keep the
+        # attachment rather than thrash close/re-attach on a live segment.
+        return True
+    return os.path.exists(os.path.join("/dev/shm", name.lstrip("/")))
+
+
+def _detach_all() -> None:
+    """Unmap every cached attachment (worker exit hygiene)."""
+    for arena in _ATTACHED.values():
+        arena.close()
+    _ATTACHED.clear()
+
+
+def _worker_init() -> None:
+    # Workers never unlink; closing on exit keeps /dev/shm refcounts tidy
+    # even when the pool is recycled many times in one test run.
+    atexit.register(_detach_all)
+
+
+# ----------------------------------------------------------------- owner side
+
+
+def _chunk_ranges(n: int, num_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``num_chunks`` contiguous ranges."""
+    if n <= 0:
+        return []
+    num_chunks = max(1, min(n, num_chunks))
+    step = (n + num_chunks - 1) // num_chunks
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+
+
+class RuntimeClosedError(RuntimeError):
+    """A task was submitted to a runtime after :meth:`ParallelRuntime.close`."""
+
+
+class ParallelRuntime:
+    """Shared-memory worker pool bound to one immutable graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose (priority-sorted) CSR arrays are published.  The
+        graph is immutable, so the published copy can never go stale.
+    workers:
+        Pool size; must be >= 1.  ``workers=1`` still builds the arena and
+        pool (useful for measuring runtime overhead in isolation) — callers
+        wanting the pure in-process path should branch before construction,
+        as :func:`repro.butterfly.parallel.count_per_edge_parallel` does.
+    chunks_per_worker:
+        Default over-partitioning factor for sharded operations: contiguous
+        start ranges per worker, so a hub-heavy range cannot straggle the
+        whole pool.
+    mp_context:
+        A multiprocessing start-method name (``"fork"``/``"spawn"``/...).
+        Defaults to ``fork`` on Linux (cheap startup) and to the
+        platform's own default elsewhere — macOS deliberately switched to
+        ``spawn`` because forking a threaded process is unsafe there.
+        Attachment is explicit via the manifest either way, so the start
+        methods behave identically apart from launch cost.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import paper_figure4_graph
+    >>> from repro.butterfly.counting import count_per_edge
+    >>> g = paper_figure4_graph()
+    >>> with ParallelRuntime(g, workers=2) as rt:
+    ...     parallel = rt.count_per_edge()
+    >>> bool((parallel == count_per_edge(g)).all())
+    True
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        *,
+        workers: int = 2,
+        chunks_per_worker: int = 4,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if not is_available():
+            raise RuntimeError(
+                "shared-memory runtime unavailable on this platform; "
+                "use the scalar paths instead"
+            )
+        self.graph = graph
+        self.workers = int(workers)
+        self.chunks_per_worker = int(chunks_per_worker)
+        self._extra_arenas: List[ShmArena] = []
+        self._closed = False
+
+        indptr, indices, edge_ids, row_prios = graph.csr_gid_sorted_with_prios()
+        self._graph_arena = ShmArena.create(
+            {
+                "indptr": indptr,
+                "indices": indices,
+                "edge_ids": edge_ids,
+                "row_prios": row_prios,
+                "prio": graph.priorities(),
+            },
+            meta={
+                "num_edges": graph.num_edges,
+                "num_vertices": graph.num_vertices,
+                "num_upper": graph.num_upper,
+                "num_lower": graph.num_lower,
+            },
+        )
+        if mp_context is None and sys.platform.startswith("linux"):
+            if "fork" in get_all_start_methods():
+                mp_context = "fork"
+        try:
+            self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(mp_context),
+                initializer=_worker_init,
+            )
+        except Exception:
+            # Never leak the arena when the pool cannot start.
+            self._graph_arena.close()
+            raise
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def graph_manifest(self) -> ArenaManifest:
+        """Manifest of the published graph arrays (pass to task functions)."""
+        return self._graph_arena.manifest
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of every live ``/dev/shm`` segment this runtime owns."""
+        names = [] if self._graph_arena.closed else [self._graph_arena.segment_name]
+        names.extend(
+            arena.segment_name
+            for arena in self._extra_arenas
+            if not arena.closed
+        )
+        return names
+
+    # ------------------------------------------------------------- plumbing
+
+    def _require_open(self) -> ProcessPoolExecutor:
+        if self._closed or self._pool is None:
+            raise RuntimeClosedError("runtime is closed")
+        return self._pool
+
+    def publish(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        meta: Optional[Mapping[str, int]] = None,
+    ) -> ShmArena:
+        """Publish an additional arena owned (and closed) by this runtime.
+
+        Used by the parallel peeler for the BE-Index arrays: static blocks
+        are copied once, and the owner may take writable views of the
+        mutable state so that workers observe level-synchronous updates
+        without any per-level re-publication.
+        """
+        self._require_open()
+        arena = ShmArena.create(arrays, meta=meta)
+        # Prune arenas a previous operation already closed (e.g. repeated
+        # parallel peels on one long-lived runtime) so the list cannot grow
+        # unboundedly across reuses.
+        self._extra_arenas = [a for a in self._extra_arenas if not a.closed]
+        self._extra_arenas.append(arena)
+        return arena
+
+    def map_tasks(
+        self, fn: Callable, tasks: Sequence[tuple]
+    ) -> List[object]:
+        """Run ``fn(*task)`` across the pool, preserving task order.
+
+        ``fn`` must be a module-level function (picklable); each task tuple
+        should carry the arena manifests it needs.  Exceptions raised by a
+        task propagate to the caller; the pool survives them.
+        """
+        pool = self._require_open()
+        if not tasks:
+            return []
+        futures = [pool.submit(fn, *task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def shard_ranges(
+        self, n: int, *, chunks_per_worker: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` ranges covering ``range(n)`` in order."""
+        per_worker = (
+            self.chunks_per_worker
+            if chunks_per_worker is None
+            else chunks_per_worker
+        )
+        return _chunk_ranges(n, self.workers * per_worker)
+
+    # ----------------------------------------------------------- operations
+
+    def count_per_edge(
+        self, *, chunks_per_worker: Optional[int] = None
+    ) -> np.ndarray:
+        """Shard-parallel butterfly supports (see ``parallel_counting``)."""
+        from repro.runtime.parallel_counting import count_per_edge_shards
+
+        return count_per_edge_shards(self, chunks_per_worker=chunks_per_worker)
+
+    def build_engine(self, *, chunks_per_worker: Optional[int] = None):
+        """Shard-parallel BE-Index build (see ``parallel_counting``)."""
+        from repro.runtime.parallel_counting import build_engine_shards
+
+        return build_engine_shards(self, chunks_per_worker=chunks_per_worker)
+
+    # ------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every owned segment (idempotent).
+
+        Tear-down order matters: workers drain first so no task can attach
+        a segment that is mid-unlink; the graph arena goes last because
+        extra arenas (peeling state) are always shorter-lived.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        for arena in reversed(self._extra_arenas):
+            arena.close()
+        self._extra_arenas.clear()
+        self._graph_arena.close()
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"workers={self.workers}"
+        return f"ParallelRuntime({self.graph!r}, {state})"

@@ -1,0 +1,278 @@
+"""Shared-memory arenas: frozen numpy arrays published once, attached zero-copy.
+
+A :class:`ShmArena` packs a set of named numpy arrays into **one**
+``multiprocessing.shared_memory`` segment — a header-less binary layout
+described by a small picklable :class:`ArenaManifest` (name, dtype, shape
+and byte offset per array).  The owning process copies each array in once;
+worker processes attach the segment by name and rebuild zero-copy views,
+so a pool task never re-ships or re-derives the graph's CSR arrays.
+
+Lifecycle
+---------
+Segments live in ``/dev/shm`` and outlive any process that forgets to
+unlink them, so the arena is defensive about cleanup:
+
+* the owner exposes ``close()`` and is a context manager;
+* a ``weakref.finalize`` hook (which also runs at interpreter ``atexit``)
+  unlinks the segment if the owner is garbage-collected or the process
+  exits without closing — guarded by the creating pid so fork-inherited
+  copies of the finalizer in worker processes never unlink a live segment;
+* the creating process keeps the segment registered with the stdlib
+  resource tracker, which unlinks it even after a hard crash of the owner.
+
+Workers only ever ``close()`` their attachment (never unlink); read-only
+views are the default everywhere so an algorithm bug cannot silently
+corrupt a shared array — mutable state (the peeling liveness arrays) must
+be requested explicitly by the owner via ``writable=True``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: Byte alignment of each array inside the segment (one cache line).
+_ALIGN = 64
+
+
+def is_available() -> bool:
+    """Whether POSIX shared memory is usable on this platform.
+
+    The runtime targets Linux-style ``/dev/shm``; on platforms without it
+    (or where ``multiprocessing.shared_memory`` is missing) callers fall
+    back to the scalar paths and the runtime tests skip.
+    """
+    if not hasattr(shared_memory, "SharedMemory"):
+        return False  # pragma: no cover - ancient interpreters only
+    return os.name == "posix"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArenaEntry:
+    """Placement of one array inside the segment."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+@dataclass(frozen=True)
+class ArenaManifest:
+    """Everything a worker needs to attach an arena: cheap to pickle."""
+
+    segment: str
+    entries: Tuple[ArenaEntry, ...]
+    meta: Dict[str, int] = field(default_factory=dict)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(entry.key for entry in self.entries)
+
+
+def _unlink_segment(name: str, owner_pid: int) -> None:
+    """Best-effort unlink, restricted to the process that created it.
+
+    Runs from ``weakref.finalize`` (GC or ``atexit``).  Forked workers
+    inherit the parent's finalizers, so without the pid guard a worker
+    exiting would unlink segments the owner is still serving.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - only with live exports
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another path
+        pass
+
+
+class ShmArena:
+    """One shared-memory segment holding a set of named numpy arrays.
+
+    Build with :meth:`create` (owner side) or :meth:`attach` (worker
+    side); never construct directly.  Owners unlink the segment on
+    :meth:`close`; attachments only unmap it.
+
+    Examples
+    --------
+    >>> arena = ShmArena.create({"x": np.arange(4)}, prefix="doc")
+    >>> arena.view("x").tolist()
+    [0, 1, 2, 3]
+    >>> twin = ShmArena.attach(arena.manifest)
+    >>> int(twin.view("x")[-1])
+    3
+    >>> twin.close(); arena.close()
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        manifest: ArenaManifest,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = segment
+        self.manifest = manifest
+        self._owner = owner
+        self._entries: Dict[str, ArenaEntry] = {
+            entry.key: entry for entry in manifest.entries
+        }
+        self._views: Dict[str, np.ndarray] = {}
+        for entry in manifest.entries:
+            view = self._raw_view(entry)
+            view.flags.writeable = False
+            self._views[entry.key] = view
+        self._finalizer = (
+            weakref.finalize(self, _unlink_segment, manifest.segment, os.getpid())
+            if owner
+            else None
+        )
+
+    # ------------------------------------------------------------ creation
+
+    @classmethod
+    def create(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        meta: Optional[Mapping[str, int]] = None,
+        prefix: str = "repro_rt",
+    ) -> "ShmArena":
+        """Publish ``arrays`` into a fresh shared segment (copied once).
+
+        Parameters
+        ----------
+        arrays:
+            Name → array mapping; each array is copied into the segment
+            in C order.  Zero-length arrays are allowed.
+        meta:
+            Small picklable integers carried inside the manifest (layer
+            sizes, edge counts, ...).
+        prefix:
+            Segment-name prefix; the leak tests glob ``/dev/shm`` for it.
+        """
+        entries = []
+        contiguous = []
+        offset = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous.append(array)
+            offset = _aligned(offset)
+            entries.append(
+                ArenaEntry(key, array.dtype.str, tuple(array.shape), offset)
+            )
+            offset += array.nbytes
+        name = f"{prefix}_{os.getpid()}_{secrets.token_hex(4)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, offset)
+        )
+        manifest = ArenaManifest(segment.name, tuple(entries), dict(meta or {}))
+        arena = cls(segment, manifest, owner=True)
+        for entry, array in zip(entries, contiguous):
+            if entry.nbytes:
+                np.copyto(arena._raw_view(entry), array)
+        return arena
+
+    @classmethod
+    def attach(cls, manifest: ArenaManifest) -> "ShmArena":
+        """Open an existing arena from its manifest (zero-copy, read-only)."""
+        segment = shared_memory.SharedMemory(name=manifest.segment)
+        return cls(segment, manifest, owner=False)
+
+    # ------------------------------------------------------------- access
+
+    def _raw_view(self, entry: ArenaEntry) -> np.ndarray:
+        """A fresh writable ndarray over the segment buffer (internal)."""
+        assert self._shm is not None
+        return np.ndarray(
+            entry.shape,
+            dtype=np.dtype(entry.dtype),
+            buffer=self._shm.buf,
+            offset=entry.offset,
+        )
+
+    def view(self, key: str, *, writable: bool = False) -> np.ndarray:
+        """A numpy view of one published array.
+
+        Views are read-only by default; ``writable=True`` is the owner's
+        escape hatch for the mutable peeling arrays (workers observe the
+        owner's in-place writes immediately — same physical pages).
+        """
+        if writable and not self._owner:
+            raise PermissionError("only the arena owner may take writable views")
+        if writable:
+            return self._raw_view(self._entries[key])
+        return self._views[key]
+
+    def views(self, keys: Iterable[str]) -> Tuple[np.ndarray, ...]:
+        """Read-only views of several arrays at once."""
+        return tuple(self.view(key) for key in keys)
+
+    @property
+    def segment_name(self) -> str:
+        """The ``/dev/shm`` entry backing this arena."""
+        return self.manifest.segment
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    # ----------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Unmap the segment; the owner additionally unlinks it.
+
+        Idempotent.  Dropping the cached views before ``close`` avoids the
+        ``BufferError`` mmap raises while exported buffers exist; if a
+        caller still holds a view, the unmap is skipped (the OS reclaims
+        it at process exit) but the unlink still happens, so no ``/dev/shm``
+        entry can leak.
+        """
+        segment, self._shm = self._shm, None
+        if segment is None:
+            return
+        self._views.clear()
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        if self._owner:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            if self._finalizer is not None:
+                self._finalizer.detach()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("owner" if self._owner else "attached")
+        return (
+            f"ShmArena({self.manifest.segment!r}, arrays="
+            f"{list(self.manifest.keys())}, {state})"
+        )

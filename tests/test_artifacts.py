@@ -182,3 +182,21 @@ def test_to_decomposition_round_trip(artifact):
 def test_graph_hash_is_content_addressed(figure4):
     clone = figure4.copy()
     assert graph_sha256(figure4) == graph_sha256(clone)
+
+
+def test_build_artifact_workers_routes_through_runtime(figure4):
+    from repro.runtime import is_available
+
+    if not is_available():
+        pytest.skip("POSIX shared memory unavailable")
+    serial = build_artifact(figure4, algorithm="bit-bu-csr")
+    parallel = build_artifact(figure4, workers=2)
+    # The serial default upgrades to the runtime path; phi is identical.
+    assert parallel.algorithm == "BiT-BU-PAR"
+    assert parallel.meta["workers"] == 2
+    np.testing.assert_array_equal(serial.phi, parallel.phi)
+
+
+def test_build_artifact_workers_rejects_serial_algorithms(figure4):
+    with pytest.raises(ValueError):
+        build_artifact(figure4, algorithm="bit-pc", workers=2)

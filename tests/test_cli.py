@@ -108,3 +108,48 @@ def test_decompose_json(graph_file, capsys):
     payload = _json.loads(out[out.index("{"):])
     assert payload["max_k"] == 1
     assert payload["hierarchy"]["1"] == 4
+
+
+def test_decompose_workers_parallel(graph_file, capsys):
+    from repro.runtime import is_available
+
+    if not is_available():
+        pytest.skip("POSIX shared memory unavailable")
+    rc = main(["decompose", str(graph_file), "--workers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # --workers > 1 with the default algorithm selects the runtime path.
+    assert "BiT-BU-PAR" in out
+    assert "max bitruss number: 1" in out
+
+
+def test_decompose_workers_default_is_scalar(graph_file, capsys):
+    rc = main(["decompose", str(graph_file), "--workers", "1"])
+    assert rc == 0
+    assert "BiT-BU++" in capsys.readouterr().out
+
+
+def test_decompose_workers_rejects_serial_algorithm(graph_file):
+    with pytest.raises(SystemExit):
+        main(["decompose", str(graph_file), "--algorithm", "pc", "--workers", "2"])
+
+
+def test_decompose_workers_rejects_nonpositive(graph_file):
+    with pytest.raises(SystemExit):
+        main(["decompose", str(graph_file), "--workers", "0"])
+
+
+def test_index_workers_parallel(graph_file, tmp_path, capsys):
+    from repro.runtime import is_available
+
+    if not is_available():
+        pytest.skip("POSIX shared memory unavailable")
+    out = tmp_path / "artifact.npz"
+    rc = main(["index", str(graph_file), "--workers", "2", "--output", str(out)])
+    assert rc == 0
+    assert "BiT-BU-PAR" in capsys.readouterr().out
+    from repro.service import load_artifact
+
+    artifact = load_artifact(out)
+    assert artifact.meta["workers"] == 2
+    assert list(artifact.phi) == [1, 1, 1, 1, 0]

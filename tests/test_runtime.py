@@ -1,0 +1,164 @@
+"""Shared-memory runtime: arena layout, zero-copy attach, lifecycle hygiene."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_edge
+from repro.core.peeling_engine import CSRPeelingEngine
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import chung_lu_bipartite, erdos_renyi_bipartite
+from repro.runtime import ParallelRuntime, RuntimeClosedError, ShmArena, is_available
+from repro.runtime.parallel_counting import _task_count_range
+
+pytestmark = pytest.mark.skipif(
+    not is_available(), reason="POSIX shared memory unavailable"
+)
+
+ENGINE_ARRAYS = (
+    "support",
+    "pair_e1",
+    "pair_e2",
+    "pair_bloom",
+    "bloom_k",
+    "e_indptr",
+    "e_pair",
+    "b_indptr",
+    "b_pair",
+)
+
+
+def _own_segments():
+    """/dev/shm entries created by this process's arenas."""
+    return glob.glob(f"/dev/shm/*repro_rt_{os.getpid()}_*")
+
+
+# ------------------------------------------------------------------- arena
+
+
+def test_arena_roundtrip_and_attach():
+    arrays = {
+        "a": np.arange(7, dtype=np.int64),
+        "b": np.zeros(0, dtype=np.int64),
+        "c": np.ones(3, dtype=bool),
+    }
+    with ShmArena.create(arrays, meta={"m": 7}) as arena:
+        assert arena.manifest.meta["m"] == 7
+        np.testing.assert_array_equal(arena.view("a"), np.arange(7))
+        assert arena.view("b").shape == (0,)
+        with ShmArena.attach(arena.manifest) as twin:
+            np.testing.assert_array_equal(twin.view("a"), np.arange(7))
+            assert not twin.view("c").flags.writeable
+            with pytest.raises(PermissionError):
+                twin.view("c", writable=True)
+    assert not _own_segments()
+
+
+def test_arena_views_are_readonly_but_owner_can_write():
+    with ShmArena.create({"x": np.arange(4, dtype=np.int64)}) as arena:
+        view = arena.view("x")
+        with pytest.raises(ValueError):
+            view[0] = 9
+        writable = arena.view("x", writable=True)
+        writable[0] = 9
+        assert arena.view("x")[0] == 9  # same pages
+
+
+def test_arena_close_is_idempotent_and_unlinks():
+    arena = ShmArena.create({"x": np.arange(4, dtype=np.int64)})
+    manifest = arena.manifest
+    assert _own_segments()
+    arena.close()
+    arena.close()
+    assert not _own_segments()
+    with pytest.raises(FileNotFoundError):
+        ShmArena.attach(manifest)
+
+
+def test_arena_gc_unlinks_without_close():
+    arena = ShmArena.create({"x": np.arange(4, dtype=np.int64)})
+    del arena  # weakref.finalize must fire on GC, not only at exit
+    assert not _own_segments()
+
+
+# ----------------------------------------------------------------- runtime
+
+
+def test_runtime_counts_match_serial():
+    g = chung_lu_bipartite(120, 80, 700, exponent_upper=2.2,
+                           exponent_lower=2.0, seed=11)
+    with ParallelRuntime(g, workers=2) as runtime:
+        np.testing.assert_array_equal(runtime.count_per_edge(), count_per_edge(g))
+
+
+def test_runtime_engine_build_is_bitwise_identical():
+    g = erdos_renyi_bipartite(35, 30, 320, seed=12)
+    sequential = CSRPeelingEngine.build(g)
+    with ParallelRuntime(g, workers=3, chunks_per_worker=2) as runtime:
+        parallel = runtime.build_engine()
+    for name in ENGINE_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(parallel, name), getattr(sequential, name), err_msg=name
+        )
+
+
+def test_runtime_rejects_zero_workers():
+    g = BipartiteGraph(1, 1, [(0, 0)])
+    with pytest.raises(ValueError):
+        ParallelRuntime(g, workers=0)
+
+
+def test_runtime_refuses_tasks_after_close():
+    g = erdos_renyi_bipartite(10, 10, 40, seed=13)
+    runtime = ParallelRuntime(g, workers=2)
+    runtime.close()
+    with pytest.raises(RuntimeClosedError):
+        runtime.count_per_edge()
+
+
+# --------------------------------------------------------------- lifecycle
+
+
+def test_no_leaked_segments_after_pool_teardown():
+    g = erdos_renyi_bipartite(20, 20, 120, seed=14)
+    runtime = ParallelRuntime(g, workers=2)
+    names = runtime.segment_names
+    assert names and all(
+        glob.glob(f"/dev/shm/*{name}*") for name in names
+    ), "segments should exist while the runtime is open"
+    runtime.count_per_edge()
+    runtime.close()
+    for name in names:
+        assert not glob.glob(f"/dev/shm/*{name}*"), f"leaked segment {name}"
+    assert not _own_segments()
+
+
+def test_no_leaked_segments_after_worker_exception():
+    g = erdos_renyi_bipartite(20, 20, 120, seed=15)
+    runtime = ParallelRuntime(g, workers=2)
+    names = runtime.segment_names
+    bad_start = g.num_vertices + 5  # out-of-range shard: raises in the worker
+    with pytest.raises(IndexError):
+        runtime.map_tasks(
+            _task_count_range,
+            [(runtime.graph_manifest, bad_start, bad_start + 1)],
+        )
+    # The pool survives a task exception and still answers correctly ...
+    np.testing.assert_array_equal(runtime.count_per_edge(), count_per_edge(g))
+    runtime.close()
+    # ... and teardown after the failure leaves /dev/shm clean.
+    for name in names:
+        assert not glob.glob(f"/dev/shm/*{name}*"), f"leaked segment {name}"
+    assert not _own_segments()
+
+
+def test_published_extra_arenas_closed_with_runtime():
+    g = erdos_renyi_bipartite(15, 15, 60, seed=16)
+    runtime = ParallelRuntime(g, workers=2)
+    arena = runtime.publish({"state": np.zeros(8, dtype=np.int64)})
+    assert arena.segment_name in runtime.segment_names
+    runtime.close()
+    assert arena.closed
+    assert not _own_segments()
