@@ -1,0 +1,143 @@
+"""Server throughput: request coalescing vs. naive per-request dispatch.
+
+A closed-loop load generator (C keep-alive connections, each issuing R
+back-to-back identical queries) drives the real asyncio HTTP server twice
+over the same artifact:
+
+* **naive** — coalescing disabled: every request pays its own engine call
+  and its own JSON encoding (one-engine-call-per-request, the behaviour a
+  straight ``QueryEngine``-behind-a-handler server would have);
+* **coalesced** — the :class:`~repro.server.batching.QueryCoalescer`
+  merges identical concurrent requests onto one computation future and
+  shares the encoded response body.
+
+Both modes serve with ``cache_size=0`` so the engine LRU cannot hide the
+per-request compute — the measured gap is the coalescer's, not the
+cache's.  The ISSUE 4 acceptance bar is **>= 5x** throughput for the
+coalesced mode on this workload; answers are asserted identical first.
+
+Results land in ``benchmarks/results/BENCH_server.json``.
+"""
+
+import asyncio
+import hashlib
+import json
+import time
+
+import pytest
+
+from benchmarks._shared import RESULTS_DIR
+
+DATASET = "wiki-it"
+ALGORITHM = "bit-bu-csr"
+TARGET = "/bench/community?k=2&upper=0"
+CLIENTS = 16
+ROUNDS = 8
+SPEEDUP_FLOOR = 5.0
+
+
+async def _client(port: int, target: str, rounds: int) -> int:
+    """One closed-loop client on a persistent connection."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+    body = b""
+    try:
+        for _ in range(rounds):
+            writer.write(request)
+            await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            status = int(header.split(None, 2)[1])
+            assert status == 200, header
+            length = next(
+                int(line.split(b":")[1])
+                for line in header.split(b"\r\n")
+                if line.lower().startswith(b"content-length")
+            )
+            body = await reader.readexactly(length)
+    finally:
+        writer.close()
+    return hashlib.sha256(body).hexdigest()[:16]
+
+
+async def _run_mode(artifact, *, coalesce: bool) -> dict:
+    from repro.server import ArtifactRegistry, BitrussServer
+
+    registry = ArtifactRegistry(cache_size=0)
+    registry.register("bench", artifact)
+    server = BitrussServer(registry, port=0, coalesce=coalesce, window=0.002)
+    async with server:
+        # One warm-up request so imports/thread-pool spin-up stay out of
+        # the measured window.
+        await _client(server.port, TARGET, 1)
+        t0 = time.perf_counter()
+        digests = await asyncio.gather(
+            *[_client(server.port, TARGET, ROUNDS) for _ in range(CLIENTS)]
+        )
+        elapsed = time.perf_counter() - t0
+        record = {
+            "coalesce": coalesce,
+            "clients": CLIENTS,
+            "rounds": ROUNDS,
+            "requests": CLIENTS * ROUNDS,
+            "seconds": round(elapsed, 6),
+            "rps": round(CLIENTS * ROUNDS / elapsed, 1),
+            "engine_misses": registry.get("bench").engine.cache_info()[
+                "misses"
+            ],
+            "body_digest": digests[0],
+        }
+        assert len(set(digests)) == 1, "clients saw diverging answers"
+        if coalesce:
+            record["coalescer"] = server.coalescer.stats()
+        return record
+
+
+def run_bench() -> dict:
+    from repro.datasets import load_dataset
+    from repro.service import build_artifact
+
+    artifact = build_artifact(load_dataset(DATASET), algorithm=ALGORITHM)
+    naive = asyncio.run(_run_mode(artifact, coalesce=False))
+    coalesced = asyncio.run(_run_mode(artifact, coalesce=True))
+    assert naive["body_digest"] == coalesced["body_digest"], (
+        "modes must serve identical answers"
+    )
+    speedup = round(coalesced["rps"] / naive["rps"], 2)
+    return {
+        "bench": "server",
+        "dataset": DATASET,
+        "algorithm": ALGORITHM,
+        "target": TARGET,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup": speedup,
+        "naive": naive,
+        "coalesced": coalesced,
+    }
+
+
+def _write(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_server.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+@pytest.mark.benchmark(group="server")
+def test_server_coalescing_speedup(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    _write(payload)
+    assert payload["speedup"] >= SPEEDUP_FLOOR, (
+        f"coalesced serving only {payload['speedup']}x the naive baseline "
+        f"({payload['coalesced']['rps']} vs {payload['naive']['rps']} rps)"
+    )
+    # Coalescing must actually have merged work, not just won by noise.
+    assert payload["coalesced"]["engine_misses"] < payload["naive"]["engine_misses"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    payload = run_bench()
+    _write(payload)
+    print(json.dumps(payload, indent=2))
+    sys.exit(0 if payload["speedup"] >= SPEEDUP_FLOOR else 1)

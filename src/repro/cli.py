@@ -12,6 +12,8 @@ Subcommands
 ``index``       decompose once and save a serving artifact (``.npz``).
 ``query``       answer k-bitruss / community / max-k / path / histogram /
                 stats queries against a saved artifact — no recompute.
+``serve``       host one or more datasets/artifacts over HTTP (asyncio,
+                request coalescing, hot-swap rebuilds on mutation).
 
 Examples
 --------
@@ -26,6 +28,8 @@ Examples
     repro-bitruss index --dataset github --workers 4 --output github.npz
     repro-bitruss query github.npz community -k 4 --upper 17
     repro-bitruss query github.npz k-bitruss -k 6 --output h6.txt
+    repro-bitruss serve --dataset github --dataset marvel --port 8642
+    repro-bitruss serve --artifact github.npz --mutable --workers 4
 
 ``decompose`` and ``index`` accept ``--workers N`` (default 1): with more
 than one worker the shared-memory runtime (:mod:`repro.runtime`) shards
@@ -331,6 +335,148 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_registry(args: argparse.Namespace):
+    """Resolve ``--dataset``/``--artifact`` into a populated registry."""
+    from repro.server import ArtifactRegistry, UpdateManager
+    from repro.service import ArtifactError, build_artifact, load_artifact
+
+    names = args.dataset or []
+    artifacts = args.artifact or []
+    if not names and not artifacts:
+        raise SystemExit(
+            "nothing to serve: give at least one --dataset NAME or "
+            "--artifact [NAME=]PATH"
+        )
+    registry = ArtifactRegistry(cache_size=args.cache_size)
+    sources = {}
+    for name in names:
+        if name in sources:
+            raise SystemExit(f"dataset {name!r} given twice")
+        print(f"building artifact for dataset {name!r} ...", flush=True)
+        artifact = build_artifact(
+            datasets.load_dataset(name),
+            algorithm=_resolve_algorithm(args, "bit-bu-csr"),
+            workers=args.workers,
+        )
+        sources[name] = artifact
+    for spec in artifacts:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = None, spec
+        if name is None:
+            import os.path
+
+            name = os.path.splitext(os.path.basename(path))[0]
+        if not name:
+            raise SystemExit(f"--artifact {spec!r}: empty dataset name")
+        if name in sources:
+            raise SystemExit(f"dataset {name!r} given twice")
+        try:
+            sources[name] = load_artifact(path)
+        except ArtifactError as exc:
+            raise SystemExit(str(exc))
+    for name, artifact in sources.items():
+        try:
+            registry.register(name, artifact, allow_stale=args.mutable)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    updates = None
+    if args.mutable:
+        updates = UpdateManager(
+            registry,
+            debounce=args.debounce,
+            workers=args.workers,
+            # Rebuilds must honour the same --algorithm/--workers choice as
+            # the startup builds, or the served artifact silently changes
+            # algorithm (and rebuild latency) after the first mutation.
+            algorithm=_resolve_algorithm(args, "bit-bu-csr"),
+        )
+        for name in registry.names():
+            updates.attach(name)
+    return registry, updates
+
+
+async def _serve_async(args: argparse.Namespace, registry, updates) -> None:
+    import errno
+
+    from repro.server import BitrussServer
+
+    server = BitrussServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        coalesce=not args.no_coalesce,
+        window=args.window_ms / 1000.0,
+        updates=updates,
+    )
+    try:
+        await server.start()
+    except OSError as exc:
+        if exc.errno == errno.EADDRINUSE:
+            raise SystemExit(
+                f"port {args.port} is already in use on {args.host}; "
+                "pick a free one with --port (0 = auto-assign)"
+            )
+        if exc.errno == errno.EACCES:
+            raise SystemExit(
+                f"permission denied binding {args.host}:{args.port} "
+                "(ports below 1024 need elevated privileges); pick a "
+                "higher port with --port"
+            )
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+    print(
+        f"serving {len(registry)} dataset(s) on "
+        f"http://{args.host}:{server.port}"
+    )
+    for entry in registry:
+        mutable = updates is not None and updates.is_mutable(entry.name)
+        print(
+            f"  /{entry.name}  m={entry.engine.graph.num_edges} "
+            f"max_k={entry.artifact.max_k}"
+            f"{'  (mutable)' if mutable else ''}"
+        )
+    print(
+        "endpoints: /datasets /healthz /metrics /{ds}/stats /{ds}/histogram "
+        "/{ds}/community /{ds}/max_k /{ds}/hierarchy_path "
+        "POST /{ds}/batch POST /{ds}/edges",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if not 0 <= args.port <= 65535:
+        raise SystemExit(f"--port {args.port} is outside [0, 65535]")
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.workers > 1:
+        from repro.runtime import is_available
+
+        if not is_available():
+            raise SystemExit(
+                "--workers needs POSIX shared memory, which this platform "
+                "lacks; rerun with --workers 1 (the scalar path)"
+            )
+    if args.window_ms < 0:
+        raise SystemExit("--window-ms must be non-negative")
+    if args.debounce < 0:
+        raise SystemExit("--debounce must be non-negative")
+    if args.cache_size < 0:
+        raise SystemExit("--cache-size must be non-negative")
+    registry, updates = _build_serve_registry(args)
+    try:
+        asyncio.run(_serve_async(args, registry, updates))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     for name in datasets.dataset_names():
         spec = datasets.dataset_spec(name)
@@ -500,6 +646,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q_batch.add_argument("file", help="JSON list of {op: ..., ...} objects")
     q_batch.set_defaults(func=_cmd_query_batch)
+
+    p_srv = sub.add_parser(
+        "serve", help="host datasets over HTTP (asyncio JSON server)"
+    )
+    p_srv.add_argument(
+        "--dataset",
+        action="append",
+        choices=datasets.dataset_names(),
+        metavar="NAME",
+        help="bundled dataset to build and host (repeatable)",
+    )
+    p_srv.add_argument(
+        "--artifact",
+        action="append",
+        metavar="[NAME=]PATH",
+        help="saved .npz artifact to host (repeatable; name defaults to "
+        "the file stem)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = auto-assign)"
+    )
+    p_srv.add_argument(
+        "--algorithm",
+        default=None,
+        choices=sorted(ALGORITHMS),
+        help="build algorithm for --dataset entries (default bit-bu-csr; "
+        "bit-bu-par when --workers > 1)",
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for builds and background rebuilds "
+        "(default 1 = scalar path)",
+    )
+    p_srv.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="per-dataset LRU result-cache capacity (default 1024)",
+    )
+    p_srv.add_argument(
+        "--mutable",
+        action="store_true",
+        help="accept POST /{ds}/edges mutations; rebuilds are debounced "
+        "and hot-swapped in the background",
+    )
+    p_srv.add_argument(
+        "--debounce",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="quiet period after the last mutation before a rebuild "
+        "(default 0.2)",
+    )
+    p_srv.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="request-coalescing window in milliseconds (default 2)",
+    )
+    p_srv.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable request coalescing (one engine call per request)",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
 
     return parser
 

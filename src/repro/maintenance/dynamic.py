@@ -230,3 +230,69 @@ class DynamicBipartiteGraph:
     def decompose(self, algorithm: str = "bit-bu++", **kwargs) -> BitrussDecomposition:
         """Run a static decomposition on the current snapshot."""
         return bitruss_decomposition(self.snapshot(), algorithm=algorithm, **kwargs)
+
+    def rebuild(
+        self,
+        algorithm: str = "bit-bu++",
+        *,
+        workers: int = 1,
+        register: bool = True,
+        snapshot: Optional[BipartiteGraph] = None,
+        **kwargs,
+    ):
+        """Snapshot, re-decompose, and re-register a serving artifact.
+
+        The one code path for bringing a serving deployment back in sync
+        after its registered artifact was invalidated: freeze the current
+        state, build a fresh
+        :class:`~repro.service.artifacts.DecompositionArtifact` (with
+        ``workers > 1`` the build runs on the shared-memory
+        :class:`~repro.runtime.pool.ParallelRuntime`), and subscribe the
+        new artifact to this graph's future updates so the staleness loop
+        keeps closing.
+
+        Parameters
+        ----------
+        algorithm:
+            Decomposition algorithm (auto-upgraded to ``bit-bu-par`` by
+            :func:`~repro.service.artifacts.build_artifact` when
+            ``workers > 1`` and the default is requested).
+        workers:
+            Worker processes for the rebuild (default 1 = scalar path).
+        register:
+            Subscribe the new artifact via :meth:`register_artifact`
+            (default).  Pass ``False`` when calling from a worker thread —
+            the watcher list is loop-/owner-thread state — and register on
+            the owning thread afterwards, as the server's update loop does.
+        snapshot:
+            A pre-taken :meth:`snapshot` to decompose instead of taking a
+            new one (lets callers pin the edge set before handing the
+            CPU-heavy build to an executor).
+        **kwargs:
+            Forwarded to the decomposition (``tau``, ``prefilter``, ...).
+
+        Returns
+        -------
+        DecompositionArtifact
+            Fresh, non-stale, ready to serve or hot-swap.
+
+        Examples
+        --------
+        >>> from repro.service.engine import QueryEngine
+        >>> g = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        >>> artifact = g.rebuild()
+        >>> _ = g.insert_edge(1, 1)
+        >>> artifact.stale      # registered: updates invalidate it
+        True
+        >>> g.rebuild().max_k   # the completed 2x2 butterfly: phi = 1
+        1
+        """
+        from repro.service.artifacts import build_artifact
+
+        graph = self.snapshot() if snapshot is None else snapshot
+        artifact = build_artifact(
+            graph, algorithm=algorithm, workers=workers, **kwargs
+        )
+        if register:
+            self.register_artifact(artifact)
+        return artifact

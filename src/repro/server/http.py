@@ -1,0 +1,761 @@
+"""A minimal asyncio HTTP/1.1 JSON server over the query engine surface.
+
+Stdlib only: connections are ``asyncio.start_server`` streams, requests
+are parsed by hand (request line, headers, ``Content-Length`` body), and
+responses are JSON with explicit ``Content-Length`` so keep-alive works.
+One process hosts many datasets through an
+:class:`~repro.server.registry.ArtifactRegistry`; engine calls run on a
+small thread pool under the entry's lock, and — unless disabled — go
+through the :class:`~repro.server.batching.QueryCoalescer` so concurrent
+identical requests share one computation and one encoded body.
+
+Endpoints
+---------
+====================================  ======  =====================================
+``/healthz``                          GET     liveness + hosted dataset count
+``/metrics``                          GET     counters, cache info, versions
+``/datasets``                         GET     hosted datasets summary
+``/{ds}/stats``                       GET     :meth:`QueryEngine.stats`
+``/{ds}/histogram``                   GET     :meth:`QueryEngine.phi_histogram`
+``/{ds}/community?k=&upper=|lower=``  GET     :meth:`QueryEngine.community`
+``/{ds}/max_k?upper=|lower=``         GET     :meth:`QueryEngine.max_k`
+``/{ds}/hierarchy_path?u=&v=|eid=``   GET     :meth:`QueryEngine.hierarchy_path`
+``/{ds}/batch``                       POST    :meth:`QueryEngine.batch`
+``/{ds}/edges``                       POST    mutations → debounced rebuild
+====================================  ======  =====================================
+
+Every error is a structured payload
+``{"error": {"status", "type", "message", ...}}``; queries are validated
+against the live graph *before* entering a shared batch, so one malformed
+request can never poison the answers of the requests it coalesced with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.server.batching import QueryCoalescer, SharedResult
+from repro.server.registry import ArtifactRegistry, UnknownDatasetError
+from repro.server.updates import MutationError, UpdateManager
+from repro.service.artifacts import StaleArtifactError
+
+#: Engine ops reachable over the wire, with their allowed parameter keys.
+_QUERY_OPS: Dict[str, frozenset] = {
+    "k_bitruss": frozenset({"op", "k"}),
+    "community": frozenset({"op", "k", "upper", "lower"}),
+    "max_k": frozenset({"op", "upper", "lower"}),
+    "hierarchy_path": frozenset({"op", "edge", "eid"}),
+    "phi_histogram": frozenset({"op"}),
+    "stats": frozenset({"op"}),
+    "phi_of": frozenset({"op", "u", "v"}),
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """An error with a status code and a structured JSON payload."""
+
+    def __init__(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        **extra: object,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.extra = extra
+
+    def payload(self) -> Dict[str, object]:
+        body: Dict[str, object] = {
+            "status": self.status,
+            "type": self.kind,
+            "message": str(self),
+        }
+        body.update(self.extra)
+        return {"error": body}
+
+
+def jsonify(obj: object) -> object:
+    """Engine results → JSON-safe values, deterministically ordered.
+
+    Communities flatten to sorted vertex/edge lists, numpy scalars and
+    arrays to python ints/lists, tuples to lists, non-string dict keys to
+    strings (matching what JSON can carry).  Tests reuse this to assert
+    HTTP parity with direct engine calls.
+    """
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if (
+        hasattr(obj, "k")
+        and hasattr(obj, "upper")
+        and hasattr(obj, "lower")
+        and hasattr(obj, "edges")
+    ):  # Community (duck-typed: apps must stay importable lazily)
+        return {
+            "k": int(obj.k),
+            "upper": sorted(int(u) for u in obj.upper),
+            "lower": sorted(int(v) for v in obj.lower),
+            "edges": sorted([int(u), int(v)] for u, v in obj.edges),
+        }
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, np.ndarray):
+        return [jsonify(x) for x in obj.tolist()]
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(jsonify(x) for x in obj)
+    return str(obj)
+
+
+def _dumps(payload: object) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+class BitrussServer:
+    """Serve an :class:`ArtifactRegistry` over HTTP/1.1.
+
+    Parameters
+    ----------
+    registry:
+        The datasets to host.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    coalesce:
+        Route queries through a :class:`QueryCoalescer` (default); off,
+        every request pays its own engine call — the naive baseline the
+        server benchmark measures against.
+    window, max_batch:
+        Coalescer tuning (see :class:`QueryCoalescer`).
+    updates:
+        An :class:`UpdateManager` enabling ``POST /{ds}/edges`` for the
+        datasets attached to it.
+    executor_threads:
+        Size of the engine-call thread pool.
+    """
+
+    #: Cap on header lines per request (a client streaming endless small
+    #: headers must not grow the headers dict without bound).
+    MAX_HEADERS = 100
+
+    def __init__(
+        self,
+        registry: ArtifactRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        coalesce: bool = True,
+        window: float = 0.002,
+        max_batch: int = 64,
+        updates: Optional[UpdateManager] = None,
+        executor_threads: int = 4,
+        max_body: int = 8 << 20,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.updates = updates
+        self.max_body = max_body
+        self.coalescer = (
+            QueryCoalescer(window=window, max_batch=max_batch)
+            if coalesce
+            else None
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._requests_total = 0
+        self._errors_total = 0
+        self._active = 0
+        self._by_endpoint: Dict[str, int] = {}
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> "BitrussServer":
+        """Bind and start accepting connections (raises ``OSError`` if the
+        port is taken)."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's foreground mode)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the thread pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    async def __aenter__(self) -> "BitrussServer":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # --------------------------------------------------------- connection
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except HTTPError as exc:
+                    # Unframeable request (bad request line, bad or huge
+                    # Content-Length): answer once, then close — the
+                    # stream position can no longer be trusted.
+                    self._requests_total += 1
+                    self._errors_total += 1
+                    self._write_response(
+                        writer, exc.status, _dumps(exc.payload()), keep=False
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload = await self._serve_one(method, target, body)
+                self._write_response(writer, status, payload, keep)
+                await writer.drain()
+                if not keep:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                # Shutdown (stop() closing the listener) cancels handlers
+                # blocked in wait_closed; the transport is going away
+                # either way, so swallow rather than spam stderr.
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            line = await reader.readline()
+        except ValueError:  # asyncio stream limit (64 KiB) exceeded
+            raise HTTPError(
+                400, "line_too_long", "request line exceeds the stream limit"
+            )
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HTTPError(400, "bad_request_line", "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(self.MAX_HEADERS):
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise HTTPError(
+                    400, "line_too_long", "header line exceeds the stream limit"
+                )
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise HTTPError(
+                400,
+                "too_many_headers",
+                f"more than {self.MAX_HEADERS} header lines",
+            )
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise HTTPError(
+                400, "bad_header", "Content-Length must be an integer"
+            )
+        if length < 0:
+            raise HTTPError(
+                400, "bad_header", "Content-Length must be non-negative"
+            )
+        if length > self.max_body:
+            raise HTTPError(
+                413,
+                "payload_too_large",
+                f"body of {length} bytes exceeds the {self.max_body}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        keep: bool,
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # ------------------------------------------------------------ routing
+
+    async def _serve_one(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, bytes]:
+        """Route one request; every outcome becomes (status, JSON bytes)."""
+        self._requests_total += 1
+        self._active += 1
+        try:
+            return 200, await self._route(method, target, body)
+        except HTTPError as exc:
+            self._errors_total += 1
+            return exc.status, _dumps(exc.payload())
+        except UnknownDatasetError as exc:
+            self._errors_total += 1
+            err = HTTPError(
+                404,
+                "unknown_dataset",
+                f"no dataset {exc.args[0]!r}; hosted: {self.registry.names()}",
+            )
+            return 404, _dumps(err.payload())
+        except StaleArtifactError as exc:
+            self._errors_total += 1
+            err = HTTPError(503, "stale_artifact", str(exc))
+            return 503, _dumps(err.payload())
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._errors_total += 1
+            traceback.print_exc(file=sys.stderr)
+            err = HTTPError(500, "internal", f"{type(exc).__name__}: {exc}")
+            return 500, _dumps(err.payload())
+        finally:
+            self._active -= 1
+
+    async def _route(self, method: str, target: str, body: bytes) -> bytes:
+        split = urlsplit(target)
+        params = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        segments = [s for s in split.path.split("/") if s]
+        self._by_endpoint["/".join(segments[-1:]) or "index"] = (
+            self._by_endpoint.get("/".join(segments[-1:]) or "index", 0) + 1
+        )
+
+        if not segments:
+            self._require(method, "GET", "/")
+            return _dumps(self._index_payload())
+        if segments == ["healthz"]:
+            self._require(method, "GET", "/healthz")
+            return _dumps({"status": "ok", "datasets": len(self.registry)})
+        if segments == ["metrics"]:
+            self._require(method, "GET", "/metrics")
+            return _dumps(jsonify(self.metrics()))
+        if segments == ["datasets"]:
+            self._require(method, "GET", "/datasets")
+            return _dumps(jsonify(self._datasets_payload()))
+        if len(segments) != 2:
+            raise HTTPError(404, "unknown_route", f"no route {split.path!r}")
+
+        name, op = segments
+        if op in ("stats", "histogram", "community", "max_k", "hierarchy_path"):
+            self._require(method, "GET", f"/{{ds}}/{op}")
+            query = self._query_from_params(name, op, params)
+            return await self._answer_single(name, query)
+        if op == "batch":
+            self._require(method, "POST", "/{ds}/batch")
+            return await self._answer_batch(name, self._parse_json(body))
+        if op == "edges":
+            self._require(method, "POST", "/{ds}/edges")
+            return self._apply_edges(name, self._parse_json(body))
+        raise HTTPError(
+            404,
+            "unknown_route",
+            f"no route /{{ds}}/{op}; choose from stats, histogram, "
+            "community, max_k, hierarchy_path, batch, edges",
+        )
+
+    def _require(self, method: str, expected: str, route: str) -> None:
+        if method != expected:
+            raise HTTPError(
+                405, "method_not_allowed", f"{route} only accepts {expected}"
+            )
+
+    def _parse_json(self, body: bytes) -> object:
+        if not body:
+            raise HTTPError(400, "bad_json", "request body must be JSON")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, "bad_json", f"invalid JSON body: {exc}")
+
+    # ----------------------------------------------------- param handling
+
+    def _int_param(self, params: Dict[str, str], key: str) -> Optional[int]:
+        if key not in params:
+            return None
+        try:
+            return int(params[key])
+        except ValueError:
+            raise HTTPError(
+                400, "bad_parameter", f"parameter {key!r} must be an integer"
+            )
+
+    def _query_from_params(
+        self, name: str, op: str, params: Dict[str, str]
+    ) -> Dict[str, object]:
+        """URL params → one engine-batch query dict (validated later)."""
+        if op == "stats":
+            return {"op": "stats"}
+        if op == "histogram":
+            return {"op": "phi_histogram"}
+        query: Dict[str, object] = {}
+        if op in ("community",):
+            k = self._int_param(params, "k")
+            if k is None:
+                raise HTTPError(400, "bad_parameter", "parameter 'k' is required")
+            query["k"] = k
+        for key in ("upper", "lower"):
+            value = self._int_param(params, key)
+            if value is not None:
+                query[key] = value
+        if op == "hierarchy_path":
+            eid = self._int_param(params, "eid")
+            u, v = self._int_param(params, "u"), self._int_param(params, "v")
+            if eid is not None:
+                query["eid"] = eid
+            if u is not None or v is not None:
+                if u is None or v is None:
+                    raise HTTPError(
+                        400, "bad_parameter", "give both 'u' and 'v' (or 'eid')"
+                    )
+                query["edge"] = [u, v]
+        query["op"] = op
+        return query
+
+    def _validate_queries(self, engine, queries: List[Dict[str, object]]) -> None:
+        """Reject malformed queries before they can enter a shared batch.
+
+        ``engine`` must be the same object the query will later execute
+        on (the caller pins it first), so a hot-swap between validation
+        and execution can never remap a resolved edge id or turn a range
+        check stale.
+        """
+        graph = engine.graph
+        for i, query in enumerate(queries):
+            if not isinstance(query, dict):
+                raise HTTPError(
+                    400, "bad_query", f"query #{i} must be a JSON object"
+                )
+            op = query.get("op")
+            allowed = _QUERY_OPS.get(op)  # type: ignore[arg-type]
+            if allowed is None:
+                raise HTTPError(
+                    400,
+                    "unknown_op",
+                    f"query #{i}: unknown op {op!r}; "
+                    f"choose from {sorted(_QUERY_OPS)}",
+                )
+            unexpected = set(query) - allowed
+            if unexpected:
+                raise HTTPError(
+                    400,
+                    "bad_query",
+                    f"query #{i} ({op}): unexpected keys {sorted(unexpected)}",
+                )
+            if op in ("k_bitruss", "community"):
+                k = query.get("k")
+                if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+                    raise HTTPError(
+                        400,
+                        "bad_parameter",
+                        f"query #{i} ({op}): 'k' must be a non-negative integer",
+                    )
+            if op in ("community", "max_k"):
+                upper, lower = query.get("upper"), query.get("lower")
+                if (upper is None) == (lower is None):
+                    raise HTTPError(
+                        400,
+                        "bad_parameter",
+                        f"query #{i} ({op}): give exactly one of 'upper'/'lower'",
+                    )
+                if upper is not None and not (
+                    isinstance(upper, int) and 0 <= upper < graph.num_upper
+                ):
+                    raise HTTPError(
+                        400,
+                        "bad_parameter",
+                        f"query #{i} ({op}): upper vertex {upper!r} out of "
+                        f"range [0, {graph.num_upper})",
+                    )
+                if lower is not None and not (
+                    isinstance(lower, int) and 0 <= lower < graph.num_lower
+                ):
+                    raise HTTPError(
+                        400,
+                        "bad_parameter",
+                        f"query #{i} ({op}): lower vertex {lower!r} out of "
+                        f"range [0, {graph.num_lower})",
+                    )
+            if op == "hierarchy_path":
+                eid, edge = query.get("eid"), query.get("edge")
+                if (eid is None) == (edge is None):
+                    raise HTTPError(
+                        400,
+                        "bad_parameter",
+                        f"query #{i}: give exactly one of 'eid'/'edge'",
+                    )
+                if edge is not None:
+                    query["eid"] = self._resolve_edge(graph, edge, i)
+                    del query["edge"]
+                    eid = query["eid"]
+                if not (isinstance(eid, int) and 0 <= eid < graph.num_edges):
+                    raise HTTPError(
+                        400,
+                        "bad_parameter",
+                        f"query #{i}: edge id {eid!r} out of range "
+                        f"[0, {graph.num_edges})",
+                    )
+            if op == "phi_of":
+                self._resolve_edge(graph, [query.get("u"), query.get("v")], i)
+
+    def _resolve_edge(self, graph, edge: object, i: int) -> int:
+        if (
+            not isinstance(edge, (list, tuple))
+            or len(edge) != 2
+            or not all(isinstance(x, int) and not isinstance(x, bool) for x in edge)
+        ):
+            raise HTTPError(
+                400,
+                "bad_parameter",
+                f"query #{i}: 'edge' must be an [upper, lower] integer pair",
+            )
+        try:
+            return int(graph.edge_id(edge[0], edge[1]))
+        except KeyError:
+            raise HTTPError(
+                404,
+                "unknown_edge",
+                f"query #{i}: edge ({edge[0]}, {edge[1]}) is not in the graph",
+            )
+
+    # ---------------------------------------------------------- answering
+
+    async def _run_batch(
+        self,
+        name: str,
+        queries: List[Dict[str, object]],
+        *,
+        engine=None,
+        version: Optional[int] = None,
+    ) -> Tuple[List[object], int]:
+        """One engine call on the thread pool, under a version lease."""
+        loop = asyncio.get_running_loop()
+        with self.registry.acquire(name, engine=engine, version=version) as lease:
+            engine, entry = lease.engine, lease.entry
+
+            def _call() -> List[object]:
+                # The engine's LRU is a plain OrderedDict; the entry lock
+                # serializes engine calls across pool threads.
+                with entry.lock:
+                    return engine.batch(queries)
+
+            results = await loop.run_in_executor(self._executor, _call)
+            return results, lease.version
+
+    async def _answer_single(
+        self, name: str, query: Dict[str, object]
+    ) -> bytes:
+        # Pin the (engine, version) pair once: validation, edge-id
+        # resolution and execution all see the same graph even if a
+        # hot-swap lands mid-request.  The coalescer namespace carries the
+        # version, so requests pinned to different engines can never fold
+        # into (or merge onto) each other's windows — the flush always
+        # runs on the engine every member was validated against.
+        entry = self.registry.get(name)
+        engine, version = entry.engine, entry.version
+        self._validate_queries(engine, [query])
+        if self.coalescer is not None:
+            shared = await self.coalescer.submit(
+                f"{name}@v{version}",
+                [query],
+                lambda qs: self._run_batch(name, qs, engine=engine, version=version),
+            )
+            return shared.encoded(
+                lambda s: _dumps(
+                    {
+                        "dataset": name,
+                        "version": s.version,
+                        "result": jsonify(s.values[0]),
+                    }
+                )
+            )
+        results, version = await self._run_batch(
+            name, [query], engine=engine, version=version
+        )
+        return _dumps(
+            {"dataset": name, "version": version, "result": jsonify(results[0])}
+        )
+
+    async def _answer_batch(self, name: str, payload: object) -> bytes:
+        if isinstance(payload, dict):
+            payload = payload.get("queries")
+        if not isinstance(payload, list) or not payload:
+            raise HTTPError(
+                400,
+                "bad_query",
+                "batch body must be a non-empty JSON list of query objects "
+                '(or {"queries": [...]})',
+            )
+        queries: List[Dict[str, object]] = [
+            dict(q) if isinstance(q, dict) else q for q in payload
+        ]
+        entry = self.registry.get(name)
+        engine, version = entry.engine, entry.version
+        self._validate_queries(engine, queries)
+        if self.coalescer is not None:
+            shared = await self.coalescer.submit(
+                f"{name}@v{version}",
+                queries,
+                lambda qs: self._run_batch(name, qs, engine=engine, version=version),
+            )
+            values, version = shared.values, shared.version
+        else:
+            values, version = await self._run_batch(
+                name, queries, engine=engine, version=version
+            )
+        return _dumps(
+            {
+                "dataset": name,
+                "version": version,
+                "results": [jsonify(v) for v in values],
+            }
+        )
+
+    def _apply_edges(self, name: str, payload: object) -> bytes:
+        entry = self.registry.get(name)
+        if self.updates is None or not self.updates.is_mutable(name):
+            raise HTTPError(
+                409,
+                "immutable_dataset",
+                f"dataset {name!r} was not started with mutations enabled",
+            )
+        ops = payload.get("ops") if isinstance(payload, dict) else payload
+        try:
+            # Deliberately synchronous on the loop thread: apply() must be
+            # serialized with the rebuild loop's snapshot() (both touch the
+            # dynamic mirror), and per-op incremental support maintenance
+            # is local work — only the rebuild is heavy, and that runs in
+            # the executor.
+            outcome = self.updates.apply(name, ops)  # type: ignore[arg-type]
+        except MutationError as exc:
+            raise HTTPError(
+                400,
+                "bad_mutation",
+                str(exc),
+                applied=getattr(exc, "applied", 0),
+            )
+        return _dumps(
+            {"dataset": name, "version": entry.version, **jsonify(outcome)}
+        )
+
+    # ------------------------------------------------------ observability
+
+    def _index_payload(self) -> Dict[str, object]:
+        return {
+            "service": "repro-bitruss",
+            "datasets": self.registry.names(),
+            "endpoints": [
+                "/healthz",
+                "/metrics",
+                "/datasets",
+                "/{ds}/stats",
+                "/{ds}/histogram",
+                "/{ds}/community?k=&upper=|lower=",
+                "/{ds}/max_k?upper=|lower=",
+                "/{ds}/hierarchy_path?u=&v=|eid=",
+                "POST /{ds}/batch",
+                "POST /{ds}/edges",
+            ],
+        }
+
+    def _datasets_payload(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "name": entry.name,
+                "version": entry.version,
+                "num_edges": entry.engine.graph.num_edges,
+                "max_k": entry.artifact.max_k,
+                "algorithm": entry.artifact.algorithm,
+                "mutable": bool(
+                    self.updates is not None
+                    and self.updates.is_mutable(entry.name)
+                ),
+                "stale": entry.engine.stale,
+            }
+            for entry in self.registry
+        ]
+
+    def metrics(self) -> Dict[str, object]:
+        """The ``/metrics`` payload (also handy in-process, e.g. benches)."""
+        payload: Dict[str, object] = {
+            "server": {
+                "requests_total": self._requests_total,
+                "errors_total": self._errors_total,
+                "active_requests": self._active,
+                "by_endpoint": dict(self._by_endpoint),
+            },
+            "datasets": self.registry.metrics(),
+        }
+        if self.coalescer is not None:
+            payload["coalescer"] = self.coalescer.stats()
+        if self.updates is not None:
+            payload["updates"] = self.updates.stats()
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"BitrussServer({self.registry.names()!r}, "
+            f"http://{self.host}:{self.port}, "
+            f"coalesce={self.coalescer is not None})"
+        )

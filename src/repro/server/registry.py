@@ -1,0 +1,286 @@
+"""Multi-dataset registry with versioned atomic hot-swap.
+
+An :class:`ArtifactRegistry` hosts many named datasets in one process, each
+a :class:`DatasetEntry` pairing a
+:class:`~repro.service.artifacts.DecompositionArtifact` with the
+:class:`~repro.service.engine.QueryEngine` serving it.  Registration and
+swap both happen on the event-loop thread, so a swap is one reference
+assignment: requests that already :meth:`~ArtifactRegistry.acquire`\\ d a
+:class:`Lease` keep computing against the engine object they leased (plain
+refcounting keeps it alive), while every later acquire sees the new
+version — no lock on the read path, no dropped or torn requests.
+
+Versioning is monotonic per entry (``version`` starts at 1 and increments
+on every :meth:`~ArtifactRegistry.swap`), so clients and tests can observe
+exactly when a rebuild landed; per-version active-lease counts are kept so
+the no-drop guarantee is assertable rather than folklore.
+
+Engine compute runs on worker threads (the HTTP layer dispatches to an
+executor), but :class:`~repro.service.engine.QueryEngine`'s LRU cache is a
+plain ``OrderedDict``; each entry therefore carries a ``lock`` that the
+dispatching layer holds for the duration of one engine call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from repro.service.artifacts import DecompositionArtifact
+from repro.service.engine import QueryEngine
+
+
+class UnknownDatasetError(KeyError):
+    """A request named a dataset the registry does not host."""
+
+
+class DatasetEntry:
+    """One hosted dataset: live engine + artifact + swap bookkeeping.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the URL path segment).
+    artifact, engine:
+        The live pair; replaced together, atomically, by ``swap``.
+    version:
+        Monotonic publication counter (1 = first registration).
+    swaps:
+        Number of hot-swaps since registration.
+    served:
+        Engine calls dispatched through leases of this entry (any version).
+    lock:
+        Held by the compute layer around each engine call — the engine's
+        LRU cache is not thread-safe on its own.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        artifact: DecompositionArtifact,
+        engine: QueryEngine,
+        *,
+        allow_stale: bool = False,
+        cache_size: int = 1024,
+    ) -> None:
+        self.name = name
+        self.artifact = artifact
+        self.engine = engine
+        self.version = 1
+        self.swaps = 0
+        self.served = 0
+        self.allow_stale = allow_stale
+        self.cache_size = cache_size
+        self.lock = threading.Lock()
+        self._active_by_version: Dict[int, int] = {}
+
+    @property
+    def active(self) -> int:
+        """Currently leased requests across all versions."""
+        return sum(self._active_by_version.values())
+
+    def active_on(self, version: int) -> int:
+        """Currently leased requests pinned to one version."""
+        return self._active_by_version.get(version, 0)
+
+    def metrics(self) -> Dict[str, object]:
+        """Observability snapshot (feeds the server's ``/metrics``)."""
+        return {
+            "version": self.version,
+            "swaps": self.swaps,
+            "served": self.served,
+            "active": self.active,
+            "stale": self.engine.stale,
+            "num_edges": self.engine.graph.num_edges,
+            "max_k": self.artifact.max_k,
+            "cache": self.engine.cache_info(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetEntry({self.name!r}, version={self.version}, "
+            f"m={self.engine.graph.num_edges}, active={self.active})"
+        )
+
+
+class Lease:
+    """A pinned (engine, version) pair for the duration of one request.
+
+    Use as a context manager; the engine captured at ``__enter__`` stays
+    valid even if the entry is hot-swapped mid-request.  Callers that
+    already snapshotted the pair earlier (e.g. the HTTP layer pins it
+    *before* validating a query, so validation and execution can never
+    straddle a swap) pass it in via ``engine=``/``version=``.
+    """
+
+    __slots__ = ("entry", "engine", "version", "_pinned")
+
+    def __init__(
+        self,
+        entry: DatasetEntry,
+        *,
+        engine: Optional[QueryEngine] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        self.entry = entry
+        self.engine: Optional[QueryEngine] = engine
+        self.version = version if version is not None else 0
+        self._pinned = engine is not None
+
+    def __enter__(self) -> "Lease":
+        # One assignment pair read on the loop thread: engine/version are
+        # replaced together by swap(), also on the loop thread.
+        if not self._pinned:
+            self.engine = self.entry.engine
+            self.version = self.entry.version
+        by_version = self.entry._active_by_version
+        by_version[self.version] = by_version.get(self.version, 0) + 1
+        self.entry.served += 1
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        by_version = self.entry._active_by_version
+        remaining = by_version.get(self.version, 1) - 1
+        if remaining:
+            by_version[self.version] = remaining
+        else:
+            by_version.pop(self.version, None)
+
+
+class ArtifactRegistry:
+    """Named map of live datasets with atomic hot-swap.
+
+    Parameters
+    ----------
+    cache_size:
+        Default per-engine LRU capacity for engines the registry builds
+        itself (when ``register``/``swap`` receive a bare artifact).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import paper_figure4_graph
+    >>> from repro.service import build_artifact
+    >>> registry = ArtifactRegistry()
+    >>> entry = registry.register("fig4", build_artifact(paper_figure4_graph()))
+    >>> entry.version
+    1
+    >>> with registry.acquire("fig4") as lease:
+    ...     lease.engine.max_k(upper=0)
+    2
+    """
+
+    def __init__(self, *, cache_size: int = 1024) -> None:
+        self._entries: Dict[str, DatasetEntry] = {}
+        self.cache_size = cache_size
+
+    # ----------------------------------------------------------- hosting
+
+    def register(
+        self,
+        name: str,
+        artifact: DecompositionArtifact,
+        *,
+        engine: Optional[QueryEngine] = None,
+        allow_stale: bool = False,
+        cache_size: Optional[int] = None,
+    ) -> DatasetEntry:
+        """Host ``artifact`` under ``name`` (building an engine if needed).
+
+        ``allow_stale=True`` is the serving posture for mutable datasets:
+        the engine keeps answering from the last published φ while a
+        background rebuild is in flight, instead of raising
+        :class:`~repro.service.artifacts.StaleArtifactError`.
+        """
+        if not name or "/" in name or name in ("healthz", "metrics", "datasets"):
+            raise ValueError(f"invalid dataset name {name!r}")
+        if name in self._entries:
+            raise ValueError(f"dataset {name!r} already registered")
+        size = self.cache_size if cache_size is None else cache_size
+        if engine is None:
+            engine = QueryEngine(
+                artifact, cache_size=size, allow_stale=allow_stale
+            )
+        entry = DatasetEntry(
+            name, artifact, engine, allow_stale=allow_stale, cache_size=size
+        )
+        self._entries[name] = entry
+        return entry
+
+    def swap(
+        self,
+        name: str,
+        artifact: DecompositionArtifact,
+        *,
+        engine: Optional[QueryEngine] = None,
+    ) -> DatasetEntry:
+        """Atomically replace the live pair; bumps ``version``.
+
+        Build the engine off the loop thread and pass it in when the
+        hierarchy construction cost matters (the update loop does); when
+        ``engine`` is omitted one is built here with the entry's settings.
+        In-flight leases keep the old engine alive and unswitched.
+        """
+        entry = self.get(name)
+        if engine is None:
+            engine = QueryEngine(
+                artifact,
+                cache_size=entry.cache_size,
+                allow_stale=entry.allow_stale,
+            )
+        # The actual hot-swap: plain attribute assignment on the loop
+        # thread.  Leases snapshot (engine, version) on entry, so there is
+        # no window where a request sees the new engine with the old
+        # version or vice versa.
+        entry.artifact = artifact
+        entry.engine = engine
+        entry.version += 1
+        entry.swaps += 1
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Drop a hosted dataset (in-flight leases finish unaffected)."""
+        self._entries.pop(name, None)
+
+    # ------------------------------------------------------------ access
+
+    def get(self, name: str) -> DatasetEntry:
+        """The entry for ``name``; raises :class:`UnknownDatasetError`."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownDatasetError(name) from None
+
+    def acquire(
+        self,
+        name: str,
+        *,
+        engine: Optional[QueryEngine] = None,
+        version: Optional[int] = None,
+    ) -> Lease:
+        """A :class:`Lease` pinning an engine for one request.
+
+        Without arguments the entry's *current* pair is pinned at
+        ``__enter__``; pass ``engine``/``version`` to account a request
+        against a pair snapshotted earlier.
+        """
+        return Lease(self.get(name), engine=engine, version=version)
+
+    def names(self) -> List[str]:
+        """Hosted dataset names, registration order."""
+        return list(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        return iter(self._entries.values())
+
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """Per-dataset observability map (server ``/metrics`` payload)."""
+        return {name: entry.metrics() for name, entry in self._entries.items()}
+
+    def __repr__(self) -> str:
+        return f"ArtifactRegistry({self.names()!r})"

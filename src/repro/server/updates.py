@@ -1,0 +1,290 @@
+"""The live refresh loop: mutations → debounced rebuild → hot-swap.
+
+PR 2's staleness story was defensive: a
+:class:`~repro.maintenance.dynamic.DynamicBipartiteGraph` invalidates
+registered artifacts so nobody silently serves outdated φ.  This module
+turns that into a *liveness* story.  Each mutable dataset keeps a dynamic
+mirror of its graph; ``POST /{ds}/edges`` applies insert/delete ops to the
+mirror (exact incremental butterfly supports, cheap), the live engine —
+registered ``allow_stale=True`` — keeps answering from the last published
+φ, and a debounced background task re-decomposes off the hot path and
+hot-swaps the fresh artifact into the
+:class:`~repro.server.registry.ArtifactRegistry`.
+
+Debounce semantics: the rebuild waits for a quiet period of ``debounce``
+seconds after the *last* mutation, so an update burst costs one rebuild,
+not one per edge; mutations that land while a rebuild is running trigger
+one follow-up rebuild when it finishes.  The decomposition itself runs in
+an executor thread via
+:meth:`~repro.maintenance.dynamic.DynamicBipartiteGraph.rebuild` — the
+shared offline/online rebuild path — optionally on the shared-memory
+:class:`~repro.runtime.pool.ParallelRuntime` (``workers > 1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import traceback
+from concurrent.futures import Executor
+from typing import Dict, List, Optional, Sequence
+
+from repro.maintenance.dynamic import DynamicBipartiteGraph
+from repro.server.registry import ArtifactRegistry
+from repro.service.engine import QueryEngine
+
+
+class MutationError(ValueError):
+    """A ``POST /{ds}/edges`` payload could not be applied."""
+
+
+class UpdateManager:
+    """Owns the dynamic mirrors and the debounced rebuild tasks.
+
+    Parameters
+    ----------
+    registry:
+        The registry whose entries get hot-swapped.
+    debounce:
+        Quiet seconds after the last mutation before a rebuild starts.
+    workers:
+        Worker processes for each rebuild (>1 uses the shared-memory
+        runtime through ``bit-bu-par``).
+    algorithm:
+        Decomposition algorithm for rebuilds (default ``bit-bu++``,
+        auto-upgraded to ``bit-bu-par`` when ``workers > 1``).
+    executor:
+        Where the rebuild computation runs (default: the loop's default
+        thread pool).
+    """
+
+    def __init__(
+        self,
+        registry: ArtifactRegistry,
+        *,
+        debounce: float = 0.2,
+        workers: int = 1,
+        algorithm: str = "bit-bu++",
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if debounce < 0:
+            raise ValueError("debounce must be non-negative")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.registry = registry
+        self.debounce = debounce
+        self.workers = workers
+        self.algorithm = algorithm
+        self._executor = executor
+        self._dynamics: Dict[str, DynamicBipartiteGraph] = {}
+        self._gen: Dict[str, int] = {}
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._rebuilds: Dict[str, int] = {}
+        self._mutations: Dict[str, int] = {}
+        self._rebuild_errors: Dict[str, int] = {}
+        self._last_error: Dict[str, Optional[str]] = {}
+
+    # ----------------------------------------------------------- wiring
+
+    def attach(
+        self, name: str, dynamic: Optional[DynamicBipartiteGraph] = None
+    ) -> DynamicBipartiteGraph:
+        """Make a hosted dataset mutable.
+
+        Builds a dynamic mirror by replaying the live artifact's edges
+        (unless ``dynamic`` is supplied), flips the entry to
+        ``allow_stale`` serving, and subscribes the live engine to the
+        mirror's invalidation feed — a mutation marks the served artifact
+        stale (visible in ``/metrics``) until the rebuild lands.
+        """
+        entry = self.registry.get(name)
+        if name in self._dynamics:
+            raise ValueError(f"dataset {name!r} is already mutable")
+        if dynamic is None:
+            graph = entry.artifact.graph
+            dynamic = DynamicBipartiteGraph(
+                graph.num_upper,
+                graph.num_lower,
+                [graph.edge_endpoints(e) for e in range(graph.num_edges)],
+            )
+        entry.allow_stale = True
+        entry.engine.allow_stale = True
+        dynamic.register_artifact(entry.engine)
+        self._dynamics[name] = dynamic
+        self._gen[name] = 0
+        self._rebuilds[name] = 0
+        self._mutations[name] = 0
+        self._rebuild_errors[name] = 0
+        self._last_error[name] = None
+        return dynamic
+
+    def is_mutable(self, name: str) -> bool:
+        """Whether ``POST /{name}/edges`` is accepted."""
+        return name in self._dynamics
+
+    def dynamic(self, name: str) -> DynamicBipartiteGraph:
+        """The dynamic mirror of a mutable dataset."""
+        return self._dynamics[name]
+
+    # -------------------------------------------------------- mutations
+
+    def apply(self, name: str, ops: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        """Apply edge ops and schedule the debounced rebuild.
+
+        Each op is ``{"op": "insert"|"delete", "u": int, "v": int}``.  Ops
+        apply sequentially; the first invalid op raises
+        :class:`MutationError` (earlier ops in the list stay applied — the
+        scheduled rebuild still reconciles the artifact with whatever
+        state the mirror reached).
+        """
+        if not self.is_mutable(name):
+            raise MutationError(
+                f"dataset {name!r} is not mutable (no dynamic mirror attached)"
+            )
+        dynamic = self._dynamics[name]
+        if not isinstance(ops, Sequence) or isinstance(ops, (str, bytes)):
+            raise MutationError("ops must be a list of edge operations")
+        applied = 0
+        butterflies = 0
+        try:
+            for op in ops:
+                if not isinstance(op, dict):
+                    raise MutationError(f"op #{applied} is not an object")
+                kind = op.get("op")
+                u, v = op.get("u"), op.get("v")
+                # Strict like the read side's validation: bools and floats
+                # would silently coerce to a *different* edge than the
+                # client named, corrupting the dataset.
+                if not all(
+                    isinstance(x, int) and not isinstance(x, bool)
+                    for x in (u, v)
+                ):
+                    raise MutationError(
+                        f"op #{applied} needs integer 'u' and 'v' fields"
+                    )
+                if kind == "insert":
+                    butterflies += dynamic.insert_edge(u, v)
+                elif kind == "delete":
+                    try:
+                        butterflies -= dynamic.delete_edge(u, v)
+                    except KeyError as exc:
+                        raise MutationError(str(exc)) from None
+                else:
+                    raise MutationError(
+                        f"op #{applied}: unknown op {kind!r} "
+                        "(choose 'insert' or 'delete')"
+                    )
+                applied += 1
+        except ValueError as exc:
+            if not isinstance(exc, MutationError):
+                exc = MutationError(f"op #{applied}: {exc}")
+            exc.applied = applied  # type: ignore[attr-defined]
+            if applied:
+                self._note_mutations(name, applied)
+            raise exc
+        if applied:
+            # An empty ops list must not cost a rebuild (or keep resetting
+            # the debounce clock of one that is genuinely needed).
+            self._note_mutations(name, applied)
+        return {
+            "applied": applied,
+            "butterfly_delta": butterflies,
+            "num_edges": dynamic.num_edges,
+            "rebuild": "scheduled" if applied else "not_needed",
+        }
+
+    def _note_mutations(self, name: str, count: int) -> None:
+        self._gen[name] += 1
+        self._mutations[name] += count
+        if self._tasks.get(name) is None:
+            self._tasks[name] = asyncio.get_running_loop().create_task(
+                self._refresh_loop(name)
+            )
+
+    # ---------------------------------------------------------- rebuild
+
+    async def _refresh_loop(self, name: str) -> None:
+        """Debounce, rebuild, and re-run if mutations landed meanwhile."""
+        try:
+            while True:
+                gen = self._gen[name]
+                await asyncio.sleep(self.debounce)
+                if self._gen[name] != gen:
+                    continue  # still hot; restart the quiet-period clock
+                try:
+                    await self._rebuild(name)
+                except Exception as exc:  # noqa: BLE001 - must not vanish
+                    # Don't hot-loop a broken build: record it loudly (the
+                    # dataset stays advertised stale) and let the next
+                    # mutation schedule a fresh attempt.
+                    self._rebuild_errors[name] += 1
+                    self._last_error[name] = f"{type(exc).__name__}: {exc}"
+                    traceback.print_exc(file=sys.stderr)
+                    return
+                self._last_error[name] = None
+                if self._gen[name] == gen:
+                    return
+        finally:
+            self._tasks.pop(name, None)
+
+    async def _rebuild(self, name: str) -> None:
+        """One rebuild + hot-swap cycle (runs the heavy part off-loop)."""
+        entry = self.registry.get(name)
+        dynamic = self._dynamics[name]
+        old_engine = entry.engine
+        # Snapshot on the loop thread so the frozen edge set is consistent
+        # with every apply() that has returned to a client.
+        gen_at_snapshot = self._gen[name]
+        snapshot = dynamic.snapshot()
+
+        def _build():
+            artifact = dynamic.rebuild(
+                self.algorithm,
+                workers=self.workers,
+                snapshot=snapshot,
+                register=False,
+            )
+            engine = QueryEngine(
+                artifact, cache_size=entry.cache_size, allow_stale=True
+            )
+            return artifact, engine
+
+        loop = asyncio.get_running_loop()
+        artifact, engine = await loop.run_in_executor(self._executor, _build)
+        # Back on the loop thread: swap atomically and rewire staleness
+        # subscriptions to the new pair.
+        self.registry.swap(name, artifact, engine=engine)
+        dynamic.unregister_artifact(old_engine)
+        dynamic.register_artifact(engine)
+        if self._gen[name] != gen_at_snapshot:
+            # Mutations landed while the build ran: the fresh engine is
+            # already behind.  Mark it stale immediately so /metrics and
+            # /datasets keep advertising the lag until the follow-up
+            # rebuild (which the refresh loop runs next) catches up.
+            engine.invalidate()
+        self._rebuilds[name] += 1
+
+    async def wait_idle(self) -> None:
+        """Block until every scheduled rebuild has landed (test/shutdown)."""
+        while self._tasks:
+            await asyncio.gather(
+                *list(self._tasks.values()), return_exceptions=True
+            )
+
+    def pending(self, name: str) -> bool:
+        """Whether a rebuild is scheduled or running for ``name``."""
+        return self._tasks.get(name) is not None
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-mutable-dataset counters for ``/metrics``."""
+        return {
+            name: {
+                "mutations": self._mutations[name],
+                "rebuilds": self._rebuilds[name],
+                "rebuild_errors": self._rebuild_errors[name],
+                "last_error": self._last_error[name],
+                "pending_rebuild": self.pending(name),
+                "mirror_edges": dyn.num_edges,
+            }
+            for name, dyn in self._dynamics.items()
+        }

@@ -153,3 +153,89 @@ def test_index_workers_parallel(graph_file, tmp_path, capsys):
     artifact = load_artifact(out)
     assert artifact.meta["workers"] == 2
     assert list(artifact.phi) == [1, 1, 1, 1, 0]
+
+
+# -------------------------------------------------------------------- serve
+
+
+@pytest.fixture
+def tiny_artifact(graph_file, tmp_path):
+    from repro.graph.io import load_edge_list
+    from repro.service import build_artifact, save_artifact
+
+    path = tmp_path / "tiny.npz"
+    save_artifact(build_artifact(load_edge_list(graph_file)), path)
+    return path
+
+
+def test_serve_requires_a_dataset():
+    with pytest.raises(SystemExit, match="nothing to serve"):
+        main(["serve", "--port", "0"])
+
+
+def test_serve_rejects_unknown_dataset_name(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--dataset", "not-a-dataset"])
+    assert excinfo.value.code == 2  # argparse choices rejection
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_serve_rejects_out_of_range_port():
+    with pytest.raises(SystemExit, match=r"--port 70000 is outside"):
+        main(["serve", "--dataset", "github", "--port", "70000"])
+
+
+def test_serve_rejects_nonpositive_workers():
+    with pytest.raises(SystemExit, match="--workers must be a positive"):
+        main(["serve", "--dataset", "github", "--workers", "0"])
+
+
+def test_serve_rejects_negative_tuning_values():
+    with pytest.raises(SystemExit, match="--window-ms"):
+        main(["serve", "--dataset", "github", "--window-ms", "-1"])
+    with pytest.raises(SystemExit, match="--debounce"):
+        main(["serve", "--dataset", "github", "--debounce", "-0.5"])
+    with pytest.raises(SystemExit, match="--cache-size"):
+        main(["serve", "--dataset", "github", "--cache-size", "-1"])
+
+
+def test_serve_rejects_duplicate_dataset_names(tiny_artifact):
+    with pytest.raises(SystemExit, match="given twice"):
+        main(
+            [
+                "serve",
+                "--artifact",
+                f"tiny={tiny_artifact}",
+                "--artifact",
+                f"tiny={tiny_artifact}",
+            ]
+        )
+
+
+def test_serve_rejects_bad_artifact_specs(tmp_path):
+    with pytest.raises(SystemExit, match="empty dataset name"):
+        main(["serve", "--artifact", f"={tmp_path / 'x.npz'}"])
+    with pytest.raises(SystemExit, match="cannot read artifact"):
+        main(["serve", "--artifact", str(tmp_path / "missing.npz")])
+
+
+def test_serve_port_in_use_message(tiny_artifact):
+    import socket
+
+    sock = socket.socket()
+    try:
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        port = sock.getsockname()[1]
+        with pytest.raises(SystemExit, match="already in use"):
+            main(
+                [
+                    "serve",
+                    "--artifact",
+                    f"tiny={tiny_artifact}",
+                    "--port",
+                    str(port),
+                ]
+            )
+    finally:
+        sock.close()

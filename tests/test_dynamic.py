@@ -108,6 +108,54 @@ class TestExactness:
         assert dyn.decompose().max_k == 1
 
 
+class TestRebuild:
+    """rebuild(): the shared snapshot + re-decompose + re-register path."""
+
+    def test_rebuild_returns_fresh_registered_artifact(self):
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        artifact = dyn.rebuild()
+        assert artifact.max_k == 1
+        assert not artifact.stale
+        dyn.insert_edge(2, 0)
+        dyn.insert_edge(2, 1)
+        # Registered: the update stream invalidated it ...
+        assert artifact.stale
+        # ... and one more rebuild resynchronizes.
+        fresh = dyn.rebuild()
+        assert fresh.max_k == 2
+        assert not fresh.stale
+
+    def test_rebuild_register_false_stays_unsubscribed(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        artifact = dyn.rebuild(register=False)
+        dyn.insert_edge(1, 1)
+        assert not artifact.stale
+
+    def test_rebuild_from_pretaken_snapshot(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        snap = dyn.snapshot()
+        dyn.insert_edge(1, 1)  # mutation after the pin
+        artifact = dyn.rebuild(snapshot=snap)
+        assert artifact.graph.num_edges == 3  # reflects the pinned state
+        assert dyn.num_edges == 4
+
+    def test_rebuild_algorithms_agree(self):
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)])
+        phi_default = list(dyn.rebuild(register=False).phi)
+        phi_csr = list(dyn.rebuild("bit-bu-csr", register=False).phi)
+        assert phi_default == phi_csr
+
+    def test_rebuild_parallel_workers(self):
+        from repro.runtime import is_available
+
+        if not is_available():
+            pytest.skip("POSIX shared memory unavailable")
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)])
+        artifact = dyn.rebuild(workers=2)
+        assert artifact.meta["workers"] == 2
+        assert list(artifact.phi) == list(dyn.rebuild(register=False).phi)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(

@@ -157,6 +157,30 @@ def test_lru_cache_hits_and_eviction(figure4):
     assert uncached.cache_info()["hits"] == 0
 
 
+def test_cache_info_full_shape_and_counter_survival(figure4):
+    """cache_info() is the serving observability hook (/metrics): it must
+    report all four fields, and clear_cache() must reset contents without
+    erasing the lifetime hit/miss history."""
+    engine = QueryEngine(build_artifact(figure4), cache_size=8)
+    assert engine.cache_info() == {
+        "hits": 0,
+        "misses": 0,
+        "size": 0,
+        "maxsize": 8,
+    }
+    engine.phi_histogram()
+    engine.phi_histogram()
+    engine.max_k(upper=0)
+    info = engine.cache_info()
+    assert info == {"hits": 1, "misses": 2, "size": 2, "maxsize": 8}
+    engine.clear_cache()
+    info = engine.cache_info()
+    assert info["size"] == 0
+    assert (info["hits"], info["misses"]) == (1, 2)  # counters survive
+    engine.phi_histogram()  # recomputed after the clear
+    assert engine.cache_info()["misses"] == 3
+
+
 def test_cached_lists_are_private_copies(engine):
     first = engine.k_bitruss(1)
     first.append(-1)
