@@ -1,0 +1,189 @@
+"""Incremental φ repair vs. full rebuild (the maintenance tentpole).
+
+Measures what a mutable serving deployment pays per single-edge update:
+
+* the **rebuild path** — what PR 4's server did for every mutation burst:
+  snapshot the mirror and re-run a full decomposition
+  (:meth:`DynamicBipartiteGraph.rebuild`), and
+* the **incremental path** — localized φ repair
+  (:mod:`repro.maintenance.incremental`) under the deployment's region
+  budget (``rebuild_threshold`` = 0.15), plus the publish step the server
+  performs (snapshot → patched artifact → fresh engine), measured
+  end-to-end per update.
+
+Updates are random single-edge toggles (delete an existing edge, then
+re-insert it); after every toggle the maintained φ must be **bitwise
+identical** to the pre-toggle decomposition — the bench doubles as the
+exactness gate.  Updates whose affected region outgrows the budget fall
+back to a rebuild in deployment; the bench records their abort cost and
+rate honestly and reports both the repaired-path speedup (the contract:
+>= 10x on every dataset, including the largest bundled one) and the
+fallback-inclusive effective speedup.
+
+Results land in ``benchmarks/results/BENCH_incremental.json``.
+"""
+
+import json
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._shared import RESULTS_DIR
+from repro.core.api import bitruss_decomposition
+from repro.datasets import load_dataset
+from repro.maintenance import DynamicBipartiteGraph
+from repro.service.artifacts import DecompositionArtifact
+from repro.service.engine import QueryEngine
+
+#: Includes the largest bundled dataset (tracker, the acceptance target).
+DATASETS = ("github", "d-label", "tracker")
+ALGORITHM = "bit-bu-csr"
+SPEEDUP_FLOOR = 10.0
+REBUILD_THRESHOLD = 0.15
+TOGGLES = 15
+
+
+def _publish(tracker):
+    """The server's patch-publish step: snapshot → artifact → engine."""
+    graph, phi = tracker.phi_snapshot()
+    artifact = DecompositionArtifact(graph=graph, phi=phi, algorithm=ALGORITHM)
+    return QueryEngine(artifact, allow_stale=True)
+
+
+def bench_dataset(name):
+    graph = load_dataset(name)
+    dyn = DynamicBipartiteGraph(
+        graph.num_upper, graph.num_lower, list(graph.edges())
+    )
+
+    # The baseline: one full rebuild (snapshot + decomposition), exactly
+    # what the debounced refresh loop pays per mutation burst.
+    t0 = time.perf_counter()
+    artifact = dyn.rebuild(ALGORITHM, register=False)
+    rebuild_s = time.perf_counter() - t0
+
+    phi0 = artifact.phi_by_endpoints()
+    tracker = dyn.enable_incremental(dict(phi0))
+    cap = int(REBUILD_THRESHOLD * graph.num_edges)
+
+    rng = np.random.default_rng(17)
+    edges = list(graph.edges())
+    repaired_s, abort_s = [], []
+    region_sizes = []
+    toggles = fallbacks = 0
+    while toggles + fallbacks < TOGGLES:
+        u, v = edges[int(rng.integers(0, len(edges)))]
+        if not dyn.has_edge(u, v):
+            continue
+        t0 = time.perf_counter()
+        report = tracker.delete(u, v, max_region_edges=cap)
+        if not report.fallback:
+            _publish(tracker)
+        delete_s = time.perf_counter() - t0
+        if report.fallback:
+            fallbacks += 1
+            abort_s.append(delete_s)
+            dyn.insert_edge(u, v)  # restore the graph ...
+            tracker.reseed(phi0)  # ... and resync (deployment: a rebuild)
+            continue
+        region_sizes.append(report.region_size)
+        t0 = time.perf_counter()
+        report = tracker.insert(u, v, max_region_edges=cap)
+        if not report.fallback:
+            _publish(tracker)
+        insert_s = time.perf_counter() - t0
+        if report.fallback:
+            fallbacks += 1
+            abort_s.append(insert_s)
+            tracker.reseed(phi0)
+            continue
+        region_sizes.append(report.region_size)
+        repaired_s.extend((delete_s, insert_s))
+        toggles += 1
+        # Exactness gate: a full toggle restores the original φ bitwise.
+        assert tracker.phi_map() == phi0, f"{name}: toggle ({u}, {v}) diverged"
+
+    # Independent parity check against a fresh decomposition.
+    snap, phi_arr = tracker.phi_snapshot()
+    fresh = bitruss_decomposition(snap, algorithm=ALGORITHM)
+    assert np.array_equal(phi_arr, fresh.phi), f"{name}: phi diverged"
+
+    mean_repaired = statistics.mean(repaired_s)
+    mean_abort = statistics.mean(abort_s) if abort_s else 0.0
+    total_ops = len(repaired_s) + len(abort_s)
+    # Deployment cost of a fallback op: the abort plus one rebuild.
+    effective_mean = (
+        sum(repaired_s) + sum(a + rebuild_s for a in abort_s)
+    ) / total_ops
+    return {
+        "dataset": name,
+        "algorithm": ALGORITHM,
+        "num_edges": graph.num_edges,
+        "max_k": artifact.max_k,
+        "rebuild_threshold": REBUILD_THRESHOLD,
+        "rebuild_seconds": round(rebuild_s, 6),
+        "single_edge_updates": total_ops,
+        "repaired_updates": len(repaired_s),
+        "fallback_updates": len(abort_s),
+        "fallback_rate": round(len(abort_s) / total_ops, 3),
+        "mean_repaired_seconds": round(mean_repaired, 6),
+        "median_repaired_seconds": round(statistics.median(repaired_s), 6),
+        "max_repaired_seconds": round(max(repaired_s), 6),
+        "mean_region_edges": round(statistics.mean(region_sizes), 1)
+        if region_sizes
+        else 0.0,
+        "mean_fallback_abort_seconds": round(mean_abort, 6),
+        "speedup": round(rebuild_s / mean_repaired, 1),
+        "effective_speedup": round(rebuild_s / effective_mean, 2),
+    }
+
+
+def _write(records):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": "incremental",
+        "speedup_floor": SPEEDUP_FLOOR,
+        "notes": (
+            "speedup = rebuild_seconds / mean end-to-end seconds (repair + "
+            "publish) of budget-respecting single-edge updates; "
+            "effective_speedup additionally charges every fallback its "
+            "abort plus one full rebuild"
+        ),
+        "records": records,
+    }
+    (RESULTS_DIR / "BENCH_incremental.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return payload
+
+
+@pytest.mark.benchmark(group="incremental")
+def test_incremental_speedup(benchmark):
+    records = benchmark.pedantic(
+        lambda: [bench_dataset(name) for name in DATASETS],
+        rounds=1,
+        iterations=1,
+    )
+    _write(records)
+    for record in records:
+        # The acceptance bar: localized repair beats a full rebuild by
+        # >= 10x per single-edge update on every dataset, including the
+        # largest bundled one.
+        assert record["speedup"] >= SPEEDUP_FLOOR, (
+            f"{record['dataset']}: incremental only {record['speedup']}x "
+            f"faster (rebuild {record['rebuild_seconds']}s vs mean repaired "
+            f"{record['mean_repaired_seconds']}s)"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    records = [bench_dataset(name) for name in DATASETS]
+    payload = _write(records)
+    print(json.dumps(payload, indent=2))
+    sys.exit(
+        0 if all(r["speedup"] >= SPEEDUP_FLOOR for r in records) else 1
+    )

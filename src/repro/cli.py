@@ -391,6 +391,8 @@ def _build_serve_registry(args: argparse.Namespace):
             # the startup builds, or the served artifact silently changes
             # algorithm (and rebuild latency) after the first mutation.
             algorithm=_resolve_algorithm(args, "bit-bu-csr"),
+            incremental=args.rebuild_threshold > 0,
+            rebuild_threshold=args.rebuild_threshold,
         )
         for name in registry.names():
             updates.attach(name)
@@ -467,6 +469,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--window-ms must be non-negative")
     if args.debounce < 0:
         raise SystemExit("--debounce must be non-negative")
+    if not 0.0 <= args.rebuild_threshold <= 1.0:
+        raise SystemExit("--rebuild-threshold must be within [0, 1]")
     if args.cache_size < 0:
         raise SystemExit("--cache-size must be non-negative")
     registry, updates = _build_serve_registry(args)
@@ -702,6 +706,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="quiet period after the last mutation before a rebuild "
         "(default 0.2)",
+    )
+    p_srv.add_argument(
+        "--rebuild-threshold",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="mutations whose affected φ region stays under this fraction "
+        "of the edge count are repaired incrementally in place; larger "
+        "ones fall back to the debounced full rebuild (default 0.15; "
+        "0 disables incremental maintenance)",
     )
     p_srv.add_argument(
         "--window-ms",

@@ -46,7 +46,7 @@ overhead, the exact crossover the counting ablation already measured.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,115 @@ from repro.butterfly.vectorized import gather_two_hop
 from repro.graph.bipartite import BipartiteGraph
 from repro.utils.bucket_queue import BucketQueue
 from repro.utils.stats import UpdateCounter
+
+#: ``fly_expiry`` value meaning "no exterior edge ever removes this
+#: butterfly" (see :func:`peel_region`).
+NO_EXPIRY = -1
+
+
+def peel_region(
+    num_edges: int,
+    fly_edges: Sequence[Sequence[int]],
+    fly_expiry: Sequence[int],
+    *,
+    counter: Optional[UpdateCounter] = None,
+) -> np.ndarray:
+    """Peel a small edge region against a frozen exterior.
+
+    The localized-repair entry point of the incremental maintenance layer
+    (:mod:`repro.maintenance.incremental`): given the butterflies that touch
+    a region of edges, recompute the bitruss number of every region edge
+    under the assumption that edges *outside* the region keep their current
+    φ.  The exterior is folded into each butterfly as a single **expiry
+    level** — the minimum φ over its exterior edges — because in the global
+    bottom-up peel a butterfly stops counting exactly when its weakest edge
+    is removed, and a frozen exterior edge with bitruss number ``t`` is
+    removed while the peel is processing level ``t``.
+
+    The peel itself is the scalar BiT-BU loop over the local structures: a
+    bucket queue keyed by live butterfly counts, a monotone floor ``k``,
+    support losses floored at ``k`` (Algorithm 5's floor rule), and — the
+    one addition — butterflies whose expiry level equals the current floor
+    are destroyed *before* the floor may rise past it, charging their
+    surviving interior edges exactly once.
+
+    Parameters
+    ----------
+    num_edges : int
+        Region size; interior edges are ``0 .. num_edges - 1``.
+    fly_edges : sequence of sequence of int
+        Per butterfly, the interior edges it contains (1-4 entries, no
+        duplicates).  Every butterfly of the current graph that contains at
+        least one region edge must appear exactly once, so each interior
+        edge's list count equals its exact butterfly support.
+    fly_expiry : sequence of int
+        Per butterfly, the minimum φ over its *exterior* edges, or
+        :data:`NO_EXPIRY` when all four edges are interior.
+    counter : UpdateCounter, optional
+        Records one update per interior support change, like the global
+        peels.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``phi`` for the region edges — identical to what a full recompute
+        would assign them, provided the exterior φ values are indeed
+        unaffected by whatever mutation produced the region (the caller's
+        region-closure bound guarantees that).
+    """
+    phi = np.zeros(num_edges, dtype=np.int64)
+    if num_edges == 0:
+        return phi
+    support = [0] * num_edges
+    edge_flies: List[List[int]] = [[] for _ in range(num_edges)]
+    expiry_buckets: Dict[int, List[int]] = {}
+    alive = [True] * len(fly_edges)
+    for fid, members in enumerate(fly_edges):
+        for edge in members:
+            support[edge] += 1
+            edge_flies[edge].append(fid)
+        expiry = fly_expiry[fid]
+        if expiry != NO_EXPIRY:
+            expiry_buckets.setdefault(int(expiry), []).append(fid)
+
+    queue = BucketQueue.from_keys(support)
+    floor = 0
+
+    def charge(edge: int, amount: int) -> None:
+        new_value = max(floor, queue.key(edge) - amount)
+        if new_value != queue.key(edge):
+            queue.update(edge, new_value)
+            if counter is not None:
+                counter.record(edge)
+
+    while not queue.is_empty():
+        min_key = queue.peek_min_key()
+        while min_key > floor:
+            # Before the floor may rise past `floor`, every butterfly whose
+            # weakest exterior edge has φ == floor must leave (in the global
+            # peel that edge is removed at this very level; removal order
+            # within one level never changes the resulting φ).
+            bucket = expiry_buckets.pop(floor, None)
+            if bucket is None:
+                floor += 1
+            else:
+                for fid in bucket:
+                    if alive[fid]:
+                        alive[fid] = False
+                        for edge in fly_edges[fid]:
+                            if edge in queue:
+                                charge(edge, 1)
+            min_key = queue.peek_min_key()
+        batch, _ = queue.pop_min_batch()
+        phi[batch] = floor
+        for edge in batch:
+            for fid in edge_flies[edge]:
+                if alive[fid]:
+                    alive[fid] = False
+                    for other in fly_edges[fid]:
+                        if other != edge and other in queue:
+                            charge(other, 1)
+    return phi
 
 
 #: One shard of the flat-array BE-Index under construction: the partial

@@ -1,5 +1,22 @@
-"""Dynamic-graph support: incremental butterfly-support maintenance."""
+"""Dynamic-graph support: incremental supports *and* bitruss numbers.
 
-from repro.maintenance.dynamic import DynamicBipartiteGraph
+:class:`DynamicBipartiteGraph` maintains exact butterfly supports under
+edge updates; :class:`IncrementalBitruss` (attach one with
+:meth:`DynamicBipartiteGraph.enable_incremental`) maintains the bitruss
+numbers themselves through exact localized re-peeling.
+"""
 
-__all__ = ["DynamicBipartiteGraph"]
+from repro.maintenance.dynamic import ApplyOutcome, DynamicBipartiteGraph
+from repro.maintenance.incremental import (
+    DirtyTrackerError,
+    IncrementalBitruss,
+    RepairReport,
+)
+
+__all__ = [
+    "ApplyOutcome",
+    "DirtyTrackerError",
+    "DynamicBipartiteGraph",
+    "IncrementalBitruss",
+    "RepairReport",
+]

@@ -14,10 +14,13 @@ gain/lose one butterfly and ``(u, v)`` itself gains/loses one.  That is
 ``O(Σ_{w ∈ N(v)} d(w))`` per update — the same combination cost BiT-BS pays
 per removal, paid here only for the edges that actually change.
 
-Full *bitruss-number* maintenance is a separate line of work (it needs the
-peeling order to be repaired, not just the supports); ``decompose()`` is the
-honest recompute path and the supports maintained here make the counting
-phase free.
+Full *bitruss-number* maintenance lives next door in
+:mod:`repro.maintenance.incremental`: :meth:`DynamicBipartiteGraph.enable_incremental`
+attaches an exact localized-φ-repair tracker, and :meth:`DynamicBipartiteGraph.apply`
+routes insert/delete batches through it, patching registered artifacts and
+query engines in place instead of leaving them stale.  ``decompose()``
+remains the honest recompute path and the supports maintained here make its
+counting phase free.
 
 The graph also acts as a staleness source for the service layer: artifacts
 and query engines registered via :meth:`DynamicBipartiteGraph.register_artifact`
@@ -27,13 +30,50 @@ silently answer from a φ computed against an older snapshot.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.api import bitruss_decomposition
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
 
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.maintenance.incremental import IncrementalBitruss, RepairReport
+
 Edge = Tuple[int, int]
+
+
+@dataclass
+class ApplyOutcome:
+    """Result of one :meth:`DynamicBipartiteGraph.apply` batch.
+
+    Attributes
+    ----------
+    reports:
+        One :class:`~repro.maintenance.incremental.RepairReport` per op
+        when the incremental path ran, empty otherwise.
+    incremental:
+        Whether φ was repaired in place for the whole batch.
+    patched:
+        Watchers whose ``patch`` method was called (now fresh again).
+    butterfly_delta:
+        Net butterflies created minus destroyed across the batch.
+    """
+
+    reports: List["RepairReport"] = field(default_factory=list)
+    incremental: bool = False
+    patched: int = 0
+    butterfly_delta: int = 0
+
+    @property
+    def region_size(self) -> int:
+        """Total edges re-peeled across the batch."""
+        return sum(r.region_size for r in self.reports)
+
+    @property
+    def max_affected_k(self) -> int:
+        """Highest level any op in the batch may have perturbed."""
+        return max((r.max_affected_k for r in self.reports), default=0)
 
 
 class DynamicBipartiteGraph:
@@ -78,6 +118,7 @@ class DynamicBipartiteGraph:
         self._adj_l: List[Set[int]] = [set() for _ in range(num_lower)]
         self._support: Dict[Edge, int] = {}
         self._watchers: List[object] = []
+        self._tracker: Optional["IncrementalBitruss"] = None
         for u, v in edges or ():
             self.insert_edge(u, v)
 
@@ -157,9 +198,34 @@ class DynamicBipartiteGraph:
         """Whether ``(u, v)`` is currently present."""
         return (u, v) in self._support
 
+    def _check_endpoints(self, u: int, v: int) -> None:
+        if not (0 <= u < self._n_u):
+            raise ValueError(f"upper endpoint {u} out of range [0, {self._n_u})")
+        if not (0 <= v < self._n_l):
+            raise ValueError(f"lower endpoint {v} out of range [0, {self._n_l})")
+
     def support_of(self, u: int, v: int) -> int:
-        """Current butterfly support of edge ``(u, v)``."""
-        return self._support[(u, v)]
+        """Current butterfly support of edge ``(u, v)``.
+
+        Raises
+        ------
+        ValueError
+            If an endpoint is out of range or the edge is absent (the same
+            error surface as :meth:`insert_edge` / :meth:`delete_edge`).
+        """
+        self._check_endpoints(u, v)
+        try:
+            return self._support[(u, v)]
+        except KeyError:
+            raise ValueError(f"edge ({u}, {v}) not present") from None
+
+    def neighbors_of_upper(self, u: int) -> Set[int]:
+        """Live lower-layer neighbour set of upper vertex ``u`` (do not mutate)."""
+        return self._adj_u[u]
+
+    def neighbors_of_lower(self, v: int) -> Set[int]:
+        """Live upper-layer neighbour set of lower vertex ``v`` (do not mutate)."""
+        return self._adj_l[v]
 
     def supports(self) -> Dict[Edge, int]:
         """Snapshot of all current supports."""
@@ -179,10 +245,7 @@ class DynamicBipartiteGraph:
 
     def insert_edge(self, u: int, v: int) -> int:
         """Insert ``(u, v)``; returns the number of butterflies created."""
-        if not (0 <= u < self._n_u):
-            raise ValueError(f"upper endpoint {u} out of range")
-        if not (0 <= v < self._n_l):
-            raise ValueError(f"lower endpoint {v} out of range")
+        self._check_endpoints(u, v)
         if (u, v) in self._support:
             raise ValueError(f"edge ({u}, {v}) already present")
         # New butterflies are exactly the (w, x) completions that already
@@ -203,9 +266,18 @@ class DynamicBipartiteGraph:
         return created
 
     def delete_edge(self, u: int, v: int) -> int:
-        """Delete ``(u, v)``; returns the number of butterflies destroyed."""
+        """Delete ``(u, v)``; returns the number of butterflies destroyed.
+
+        Raises
+        ------
+        ValueError
+            If an endpoint is out of range or the edge is absent — the same
+            error surface as :meth:`insert_edge` (historically this leaked a
+            bare ``KeyError`` for missing edges).
+        """
+        self._check_endpoints(u, v)
         if (u, v) not in self._support:
-            raise KeyError(f"edge ({u}, {v}) not present")
+            raise ValueError(f"edge ({u}, {v}) not present")
         self._adj_u[u].discard(v)
         self._adj_l[v].discard(u)
         destroyed = 0
@@ -220,6 +292,149 @@ class DynamicBipartiteGraph:
         del self._support[(u, v)]
         self.invalidate()
         return destroyed
+
+    # ------------------------------------------------- incremental repair
+
+    def enable_incremental(
+        self, phi: Optional[Dict[Edge, int]] = None
+    ) -> "IncrementalBitruss":
+        """Attach an exact localized-φ-repair tracker to this graph.
+
+        Parameters
+        ----------
+        phi:
+            Known-correct bitruss numbers keyed by endpoints (e.g. from a
+            served :class:`~repro.service.artifacts.DecompositionArtifact`);
+            omitted, one static decomposition seeds the tracker.
+
+        Returns
+        -------
+        IncrementalBitruss
+            The tracker, also reachable via :attr:`tracker`.  While one is
+            attached, mutate through :meth:`apply` (or the tracker's own
+            ``insert`` / ``delete``) so φ stays in sync.
+        """
+        from repro.maintenance.incremental import IncrementalBitruss
+
+        self._tracker = IncrementalBitruss(self, phi)
+        return self._tracker
+
+    @property
+    def tracker(self) -> Optional["IncrementalBitruss"]:
+        """The attached φ tracker, or ``None``."""
+        return getattr(self, "_tracker", None)
+
+    def apply(
+        self,
+        inserts: Iterable[Edge] = (),
+        deletes: Iterable[Edge] = (),
+        *,
+        incremental: bool = True,
+        max_region_fraction: Optional[float] = None,
+        patch_watchers: bool = True,
+    ) -> ApplyOutcome:
+        """Apply an edge batch, repairing φ and patching watchers in place.
+
+        Deletions apply first, then insertions.  With ``incremental=True``
+        and a fresh tracker attached (:meth:`enable_incremental`), each op
+        runs the localized φ repair; afterwards every registered watcher
+        exposing a ``patch`` method — a
+        :class:`~repro.service.artifacts.DecompositionArtifact` or
+        :class:`~repro.service.engine.QueryEngine` — is handed the patched
+        snapshot and becomes fresh again, so the batch never surfaces a
+        ``StaleArtifactError`` to readers.  Watchers without ``patch`` stay
+        invalidated as before.
+
+        Parameters
+        ----------
+        inserts, deletes:
+            ``(u, v)`` pairs; the usual :class:`ValueError` surface applies
+            (out-of-range endpoints, duplicate insert, missing delete).
+        incremental:
+            ``False`` forces the plain support-only mutators (watchers are
+            left stale, as historical ``insert_edge`` loops did).
+        max_region_fraction:
+            Per-op region budget as a fraction of the current edge count;
+            an op whose affected region grows past it aborts the φ repair
+            (tracker goes dirty, remaining ops apply support-only) so the
+            caller can fall back to a full rebuild.  ``None`` = unbounded.
+        patch_watchers:
+            ``False`` skips the watcher patching (the server's update
+            manager does its own hot-swap on the event loop).
+
+        Returns
+        -------
+        ApplyOutcome
+
+        Examples
+        --------
+        >>> from repro.service.engine import QueryEngine
+        >>> g = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        >>> _ = g.enable_incremental()
+        >>> engine = QueryEngine.from_graph(g.snapshot())
+        >>> g.register_artifact(engine)
+        >>> outcome = g.apply(inserts=[(2, 0), (2, 1)])
+        >>> outcome.incremental and not engine.stale
+        True
+        >>> engine.max_k(upper=2)
+        2
+        """
+        outcome = ApplyOutcome()
+        tracker = self.tracker
+        use_tracker = (
+            incremental and tracker is not None and not tracker.dirty
+        )
+        for kind, edges in (("delete", deletes), ("insert", inserts)):
+            for u, v in edges:
+                if use_tracker:
+                    cap = None
+                    if max_region_fraction is not None:
+                        cap = int(max_region_fraction * max(1, self.num_edges))
+                    op = tracker.delete if kind == "delete" else tracker.insert
+                    report = op(u, v, max_region_edges=cap)
+                    outcome.reports.append(report)
+                    delta = report.butterflies
+                    outcome.butterfly_delta += (
+                        delta if kind == "insert" else -delta
+                    )
+                    if report.fallback:
+                        use_tracker = False
+                elif kind == "delete":
+                    outcome.butterfly_delta -= self.delete_edge(u, v)
+                else:
+                    outcome.butterfly_delta += self.insert_edge(u, v)
+        outcome.incremental = use_tracker and bool(outcome.reports)
+        if not (outcome.incremental and patch_watchers and self._watchers):
+            return outcome
+
+        assert tracker is not None
+        graph, phi = tracker.phi_snapshot()
+        affected_gids = self._affected_gids(graph, outcome.reports)
+        for watcher in self._watchers:
+            patch = getattr(watcher, "patch", None)
+            if callable(patch):
+                patch(
+                    graph,
+                    phi,
+                    max_affected_k=outcome.max_affected_k,
+                    affected_gids=affected_gids,
+                )
+                outcome.patched += 1
+        return outcome
+
+    @staticmethod
+    def _affected_gids(
+        graph: BipartiteGraph, reports: List["RepairReport"]
+    ) -> Set[int]:
+        """Global ids of vertices touching any φ change or mutated edge."""
+        gids: Set[int] = set()
+        for report in reports:
+            edges = list(report.changed)
+            edges.append(report.edge)
+            for u, v in edges:
+                gids.add(graph.gid_of_lower(v))
+                gids.add(graph.gid_of_upper(u))
+        return gids
 
     # ------------------------------------------------------------ snapshot
 
@@ -295,4 +510,15 @@ class DynamicBipartiteGraph:
         )
         if register:
             self.register_artifact(artifact)
+            tracker = self.tracker
+            if tracker is not None:
+                # A full rebuild is the recovery path from a dirty tracker;
+                # reseed it so the incremental repair resumes — unless the
+                # decomposed snapshot was pinned before further mutations,
+                # in which case its φ does not cover the current edges and
+                # the reseed refuses without touching the tracker.
+                try:
+                    tracker.reseed(artifact.phi_by_endpoints())
+                except ValueError:
+                    pass
         return artifact

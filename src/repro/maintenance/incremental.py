@@ -1,0 +1,503 @@
+"""Exact localized bitruss-number repair under single-edge updates.
+
+:mod:`repro.maintenance.dynamic` keeps butterfly *supports* exact under
+edge insertions and deletions; this module closes the loop its docstring
+left open and keeps the *bitruss numbers* φ exact too — without ever
+re-peeling the whole graph.  One mutation triggers three localized steps:
+
+1. **Bound** how deep the change can reach.  Inserting ``e₀`` can only
+   *raise* φ (every old k-bitruss is still a witness subgraph), and an edge
+   can only rise if its new butterflies survive at its new level — all of
+   which contain ``e₀`` — so nothing above ``k* = φ_new(e₀)`` moves, and
+   every moved edge had ``φ < k*`` before.  ``k*`` itself is capped before
+   any peeling by an h-index over the butterflies through ``e₀``: at level
+   ``k`` a butterfly needs all four edges in ``H_k`` and φ ≤ support always
+   holds, so ``k* ≤ max{k : #{B ∋ e₀ : min support over B} ≥ k}``.
+   Deleting ``e₀`` is the mirror image (re-inserting it would restore the
+   old state), giving the known-exactly bound ``K = φ_old(e₀)``: only edges
+   with ``φ_old ≤ K`` can drop.
+
+2. **Collect** the affected region.  A moved edge must gain (or lose) a
+   butterfly at its new level, and the other edges of that butterfly are
+   either already settled above the bound or moved themselves — so moved
+   edges form butterfly-connected chains anchored at ``e₀``.  A BFS from
+   ``e₀`` over butterfly adjacency, expanding only through edges under the
+   φ bound, therefore covers everything that can change (usually a tiny
+   neighbourhood; the maintained supports make each hop one
+   wedge-combination pass).
+
+3. **Re-peel** the region against the frozen remainder with
+   :func:`repro.core.peeling_engine.peel_region`: butterflies touching the
+   region carry the minimum exterior φ as an expiry level, and the scalar
+   bottom-up peel reproduces — bitwise — what a full recompute would assign
+   the region edges.
+
+The φ values live in an endpoint-keyed dict (edge *ids* shift when the
+snapshot is resorted; endpoints are stable), and
+:meth:`IncrementalBitruss.phi_snapshot` lays them out against a frozen
+:class:`~repro.graph.bipartite.BipartiteGraph` so artifacts and query
+engines can be patched in place.  When a mutation's region outgrows the
+caller's budget (``max_region_edges``), the tracker marks itself dirty and
+the caller falls back to the full rebuild path — exactness is never traded
+for locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.peeling_engine import NO_EXPIRY, peel_region
+from repro.graph.bipartite import BipartiteGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dynamic imports us)
+    from repro.maintenance.dynamic import DynamicBipartiteGraph
+
+Edge = Tuple[int, int]
+
+#: A butterfly as its canonical vertex quadruple:
+#: ``(upper_lo, upper_hi, lower_lo, lower_hi)``.
+FlyKey = Tuple[int, int, int, int]
+
+
+class DirtyTrackerError(RuntimeError):
+    """φ repair was requested on a tracker that has lost sync.
+
+    Raised after a region-budget fallback (or an explicit
+    :meth:`IncrementalBitruss.mark_dirty`) until :meth:`~IncrementalBitruss.reseed`
+    installs a freshly computed φ.
+    """
+
+
+@dataclass
+class RepairReport:
+    """What one localized repair did (one per insert/delete).
+
+    Attributes
+    ----------
+    op:
+        ``"insert"`` or ``"delete"``.
+    edge:
+        The mutated ``(u, v)`` pair.
+    butterflies:
+        Butterflies created (insert) or destroyed (delete) by the mutation.
+    k_bound:
+        The φ bound ``K`` that pruned the region search.
+    region_size:
+        Edges whose φ was recomputed (0 when the bound proved nothing can
+        move).
+    region_fraction:
+        ``region_size`` over the post-mutation edge count.
+    changed:
+        Edges whose φ actually changed, with ``(old, new)`` values; the
+        inserted edge appears with ``old = -1``, a deleted one is omitted.
+    fallback:
+        True when the region budget was exceeded — φ was *not* repaired
+        and the tracker is now dirty.
+    """
+
+    op: str
+    edge: Edge
+    butterflies: int = 0
+    k_bound: int = 0
+    region_size: int = 0
+    region_fraction: float = 0.0
+    changed: Dict[Edge, Tuple[int, int]] = field(default_factory=dict)
+    fallback: bool = False
+
+    @property
+    def max_affected_k(self) -> int:
+        """Highest level whose k-bitruss may differ from before the op.
+
+        For deletions this includes the deleted edge's own former level
+        (``k_bound``): every ``H_k`` up to it lost that edge even when no
+        *other* edge's φ moved, so caches keyed at those levels are stale
+        regardless of ``changed``.
+        """
+        levels = [0]
+        if self.op == "delete":
+            levels.append(self.k_bound)
+        for old, new in self.changed.values():
+            levels.append(max(old, new))
+        return max(levels)
+
+
+class IncrementalBitruss:
+    """Maintain exact per-edge bitruss numbers on a dynamic graph.
+
+    Parameters
+    ----------
+    dynamic:
+        The :class:`~repro.maintenance.dynamic.DynamicBipartiteGraph` whose
+        φ to maintain.  The tracker drives the graph's own mutators, so use
+        :meth:`insert` / :meth:`delete` (or
+        :meth:`DynamicBipartiteGraph.apply`) instead of calling
+        ``insert_edge`` / ``delete_edge`` directly while a tracker is live.
+    phi:
+        Initial bitruss numbers keyed by ``(u, v)`` endpoints, covering
+        exactly the current edges.  Omitted: computed here with one static
+        decomposition.
+
+    Examples
+    --------
+    >>> from repro.maintenance.dynamic import DynamicBipartiteGraph
+    >>> g = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+    >>> tracker = IncrementalBitruss(g)
+    >>> tracker.insert(1, 1).changed[(0, 0)]
+    (0, 1)
+    >>> tracker.phi_of(1, 1)
+    1
+    >>> report = tracker.delete(0, 1)
+    >>> tracker.phi_of(0, 0)
+    0
+    """
+
+    def __init__(
+        self,
+        dynamic: "DynamicBipartiteGraph",
+        phi: Optional[Dict[Edge, int]] = None,
+    ) -> None:
+        self._dyn = dynamic
+        if phi is None:
+            from repro.service.artifacts import phi_by_endpoints
+
+            result = dynamic.decompose()
+            phi = phi_by_endpoints(result.graph, result.phi)
+        self._phi: Dict[Edge, int] = dict(phi)
+        self._check_coverage()
+        self.dirty = False
+
+    # ------------------------------------------------------------ plumbing
+
+    def _check_coverage(self, phi: Optional[Dict[Edge, int]] = None) -> None:
+        candidate = self._phi if phi is None else phi
+        supports = self._dyn.supports()
+        if set(candidate) != set(supports):
+            raise ValueError(
+                "phi must cover exactly the current edges of the graph "
+                f"({len(candidate)} phi entries vs {len(supports)} edges)"
+            )
+
+    def phi_of(self, u: int, v: int) -> int:
+        """Current bitruss number of edge ``(u, v)``."""
+        if self.dirty:
+            raise DirtyTrackerError(
+                "tracker lost sync after a region-budget fallback; reseed() "
+                "it from a fresh decomposition"
+            )
+        try:
+            return self._phi[(u, v)]
+        except KeyError:
+            raise ValueError(f"edge ({u}, {v}) not present") from None
+
+    def phi_map(self) -> Dict[Edge, int]:
+        """Snapshot of all current φ values keyed by endpoints."""
+        if self.dirty:
+            raise DirtyTrackerError("tracker is dirty; reseed() first")
+        return dict(self._phi)
+
+    def phi_snapshot(self) -> Tuple[BipartiteGraph, np.ndarray]:
+        """Freeze the graph and lay φ out by the snapshot's edge ids.
+
+        Returns the pair an artifact patch needs: an immutable
+        :class:`BipartiteGraph` of the current edges plus an ``int64`` φ
+        array aligned with its (resorted) edge ids.
+        """
+        if self.dirty:
+            raise DirtyTrackerError("tracker is dirty; reseed() first")
+        graph = self._dyn.snapshot()
+        phi = np.fromiter(
+            (self._phi[(u, v)] for u, v in graph.edges()),
+            dtype=np.int64,
+            count=graph.num_edges,
+        )
+        return graph, phi
+
+    def mark_dirty(self) -> None:
+        """Declare φ out of sync (mutations keep applying, repairs refuse)."""
+        self.dirty = True
+
+    def reseed(self, phi: Dict[Edge, int]) -> None:
+        """Install a freshly computed φ (endpoint-keyed) and clear ``dirty``.
+
+        Validated *before* anything is replaced: a reseed whose φ does not
+        cover the current edge set raises and leaves the tracker exactly
+        as it was (callers that race rebuilds against mutations rely on a
+        failed reseed being harmless).
+        """
+        candidate = dict(phi)
+        self._check_coverage(candidate)
+        self._phi = candidate
+        self.dirty = False
+
+    # ------------------------------------------------------ region search
+
+    def _flies_through(self, u: int, v: int) -> List[Tuple[int, int]]:
+        """Partner pairs ``(w, x)`` completing a butterfly with ``(u, v)``."""
+        partners = []
+        nu = self._dyn.neighbors_of_upper(u)
+        for w in self._dyn.neighbors_of_lower(v):
+            if w == u:
+                continue
+            for x in self._dyn.neighbors_of_upper(w):
+                if x != v and x in nu:
+                    partners.append((w, x))
+        return partners
+
+    def _collect_region(
+        self,
+        seeds: Iterable[Edge],
+        bound: int,
+        mode: str,
+        max_region_edges: Optional[int],
+    ) -> Optional[Tuple[List[Edge], Dict[FlyKey, List[Edge]]]]:
+        """BFS over butterfly adjacency from ``seeds`` under the mode's rule.
+
+        ``mode="insert"`` expands onto any butterfly partner with
+        ``φ_old < bound`` — risers start below the new edge's level and can
+        be lifted through arbitrarily low neighbours.  ``mode="delete"``
+        uses the sharper rule: an edge can only *drop* if one of its
+        level-``φ_old`` butterflies dies, and such a butterfly still exists
+        at that level — every other edge in it carries φ at least as high —
+        so the candidate must attain the minimum φ of the butterfly
+        connecting it to the cascade.  Delete regions therefore descend in
+        φ from the seeds instead of flooding the whole ``φ ≤ K`` component.
+
+        Returns the region edges plus every butterfly touching the region
+        (keyed canonically, each holding its interior members), or ``None``
+        when ``max_region_edges`` was exceeded.
+        """
+        phi = self._phi
+        region: List[Edge] = []
+        seen: Set[Edge] = set()
+        flies: Dict[FlyKey, List[Edge]] = {}
+        stack: List[Edge] = []
+        # A region budget must also bound *work*, not just edges: one hub
+        # edge inside a giant bloom owns O(k²) butterflies, and a search
+        # that is going to abort anyway must not pay for all of them first.
+        max_work = None if max_region_edges is None else 32 * max_region_edges
+        work = 0
+        for seed in seeds:
+            if seed not in seen:
+                seen.add(seed)
+                stack.append(seed)
+        while stack:
+            edge = stack.pop()
+            region.append(edge)
+            if max_region_edges is not None and len(region) > max_region_edges:
+                return None
+            u, v = edge
+            phi_self = phi[edge]
+            partners = self._flies_through(u, v)
+            work += len(partners)
+            if max_work is not None and work > max_work:
+                return None
+            for w, x in partners:
+                key = (min(u, w), max(u, w), min(v, x), max(v, x))
+                members = flies.get(key)
+                if members is None:
+                    flies[key] = [edge]
+                elif edge not in members:
+                    members.append(edge)
+                others = ((u, x), (w, v), (w, x))
+                if mode == "insert":
+                    for other in others:
+                        if other not in seen and phi[other] < bound:
+                            seen.add(other)
+                            stack.append(other)
+                else:
+                    fly_min = min(
+                        phi_self, phi[others[0]], phi[others[1]], phi[others[2]]
+                    )
+                    if fly_min > 0:  # a φ = 0 edge can never drop
+                        for other in others:
+                            if other not in seen and phi[other] == fly_min:
+                                seen.add(other)
+                                stack.append(other)
+        return region, flies
+
+    def _repair(
+        self,
+        seeds: Iterable[Edge],
+        bound: int,
+        mode: str,
+        max_region_edges: Optional[int],
+        report: RepairReport,
+    ) -> RepairReport:
+        """Run the region search + sub-peel and patch ``self._phi``."""
+        collected = self._collect_region(seeds, bound, mode, max_region_edges)
+        if collected is None:
+            self.mark_dirty()
+            report.fallback = True
+            return report
+        region, flies = collected
+        report.region_size = len(region)
+        num_edges = self._dyn.num_edges
+        report.region_fraction = len(region) / num_edges if num_edges else 0.0
+        if not region:
+            return report
+
+        if __debug__:
+            # Safety net for the enumeration: a region edge's collected
+            # butterfly count must equal its maintained support exactly.
+            counts = {edge: 0 for edge in region}
+            for members in flies.values():
+                for member in members:
+                    counts[member] += 1
+            for (eu, ev), count in counts.items():
+                assert count == self._dyn.support_of(eu, ev), (
+                    f"butterfly enumeration out of sync at ({eu}, {ev})"
+                )
+
+        local_id = {edge: i for i, edge in enumerate(region)}
+        fly_edges: List[List[int]] = []
+        fly_expiry: List[int] = []
+        for (u_lo, u_hi, v_lo, v_hi), members in flies.items():
+            interior = [local_id[m] for m in members]
+            expiry = NO_EXPIRY
+            if len(members) < 4:
+                member_set = set(members)
+                exterior_phi = [
+                    self._phi[e]
+                    for e in (
+                        (u_lo, v_lo), (u_lo, v_hi), (u_hi, v_lo), (u_hi, v_hi)
+                    )
+                    if e not in member_set
+                ]
+                expiry = min(exterior_phi)
+            fly_edges.append(interior)
+            fly_expiry.append(expiry)
+
+        new_phi = peel_region(len(region), fly_edges, fly_expiry)
+        for edge, value in zip(region, new_phi.tolist()):
+            old = self._phi[edge]
+            if old != value:
+                report.changed[edge] = (old, value)
+                self._phi[edge] = value
+        return report
+
+    # ----------------------------------------------------------- mutation
+
+    def insert(
+        self,
+        u: int,
+        v: int,
+        *,
+        max_region_edges: Optional[int] = None,
+    ) -> RepairReport:
+        """Insert edge ``(u, v)`` and repair φ in its affected region.
+
+        Parameters
+        ----------
+        u, v:
+            Endpoints (must be in range; the edge must be absent).
+        max_region_edges:
+            Region budget; exceeding it leaves the mutation applied but φ
+            unrepaired — the tracker goes dirty and ``report.fallback`` is
+            set so the caller can schedule a full rebuild.
+
+        Returns
+        -------
+        RepairReport
+        """
+        created = self._dyn.insert_edge(u, v)
+        report = RepairReport(op="insert", edge=(u, v), butterflies=created)
+        if self.dirty:
+            report.fallback = True
+            return report
+        self._phi[(u, v)] = 0
+        if created == 0:
+            # No butterflies: the new edge settles at φ = 0 and no support
+            # moved anywhere, so the decomposition is already exact.
+            return report
+
+        # h-index bound on φ_new(u, v): a butterfly survives at level k
+        # only if all four of its edges do, and φ ≤ support always.
+        mins = sorted(
+            (
+                min(
+                    self._dyn.support_of(u, x),
+                    self._dyn.support_of(w, v),
+                    self._dyn.support_of(w, x),
+                )
+                for w, x in self._flies_through(u, v)
+            ),
+            reverse=True,
+        )
+        bound = 0
+        for i, value in enumerate(mins):
+            bound = max(bound, min(value, i + 1))
+        report.k_bound = bound
+        report.changed[(u, v)] = (-1, 0)
+        if bound == 0:
+            return report
+        report = self._repair(
+            [(u, v)], bound, "insert", max_region_edges, report
+        )
+        if not report.fallback:
+            new_value = self._phi[(u, v)]
+            report.changed[(u, v)] = (-1, new_value)
+        return report
+
+    def delete(
+        self,
+        u: int,
+        v: int,
+        *,
+        max_region_edges: Optional[int] = None,
+    ) -> RepairReport:
+        """Delete edge ``(u, v)`` and repair φ in its affected region.
+
+        See :meth:`insert` for the budget semantics; the bound here is
+        exact (``K = φ_old(u, v)``) because deletion can only pull edges at
+        or below the deleted edge's own level.
+        """
+        if self.dirty:
+            destroyed = self._dyn.delete_edge(u, v)
+            return RepairReport(
+                op="delete", edge=(u, v), butterflies=destroyed, fallback=True
+            )
+        if (u, v) not in self._phi:
+            # Delegate the error surface to the graph's own range checks.
+            self._dyn.delete_edge(u, v)
+            raise AssertionError("unreachable")  # pragma: no cover
+        bound = self._phi[(u, v)]
+        # Seeds: partner edges that attain the minimum φ of a butterfly
+        # through (u, v) — only a butterfly alive at the candidate's own
+        # level can pull it down when it dies (min includes (u, v)'s φ).
+        seeds: List[Edge] = []
+        seeded: Set[Edge] = set()
+        for w, x in self._flies_through(u, v):
+            others = ((u, x), (w, v), (w, x))
+            fly_min = min(bound, *(self._phi[e] for e in others))
+            if fly_min > 0:  # a φ = 0 edge can never drop
+                for edge in others:
+                    if self._phi[edge] == fly_min and edge not in seeded:
+                        seeded.add(edge)
+                        seeds.append(edge)
+        destroyed = self._dyn.delete_edge(u, v)
+        del self._phi[(u, v)]
+        report = RepairReport(
+            op="delete", edge=(u, v), butterflies=destroyed, k_bound=bound
+        )
+        if destroyed == 0 or bound == 0 or not seeds:
+            # Either no butterfly died, or every edge that lost one already
+            # sits at φ = 0 (φ ≥ 0 cannot drop further): nothing to repair.
+            return report
+        return self._repair(seeds, bound, "delete", max_region_edges, report)
+
+    def verify(self) -> bool:
+        """Parity check against a fresh static decomposition (tests/debug)."""
+        graph, phi = self.phi_snapshot()
+        from repro.core.api import bitruss_decomposition
+
+        fresh = bitruss_decomposition(graph, algorithm="bit-bu-csr")
+        return bool(np.array_equal(phi, fresh.phi))
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalBitruss(m={self._dyn.num_edges}, "
+            f"dirty={self.dirty})"
+        )

@@ -294,10 +294,32 @@ class BitrussServer:
                 raise HTTPError(
                     400, "line_too_long", "header line exceeds the stream limit"
                 )
-            if raw in (b"\r\n", b"\n", b""):
+            if raw == b"":
+                # EOF before the blank line: the client died (or lied) mid
+                # headers.  Treating this as end-of-headers would silently
+                # accept a truncated request and then misread the body.
+                raise HTTPError(
+                    400, "truncated_request", "connection closed mid-headers"
+                )
+            if raw in (b"\r\n", b"\n"):
                 break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
+            line = raw.decode("latin-1")
+            name, sep, value = line.partition(":")
+            name = name.strip().lower()
+            if not sep or not name:
+                # A colon-less line would otherwise become a header *name*
+                # with an empty value — free smuggling surface for a parser
+                # mismatch with any front proxy.
+                raise HTTPError(
+                    400, "bad_header", f"malformed header line {line.strip()!r}"
+                )
+            if name == "content-length" and name in headers:
+                # Duplicate Content-Length is the classic request-smuggling
+                # vector: two framings, pick-your-own parser.  Refuse.
+                raise HTTPError(
+                    400, "bad_header", "duplicate Content-Length header"
+                )
+            headers[name] = value.strip()
         else:
             raise HTTPError(
                 400,

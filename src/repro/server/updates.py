@@ -1,15 +1,25 @@
-"""The live refresh loop: mutations → debounced rebuild → hot-swap.
+"""The live refresh loop: mutations → incremental patch (or rebuild) → swap.
 
 PR 2's staleness story was defensive: a
 :class:`~repro.maintenance.dynamic.DynamicBipartiteGraph` invalidates
 registered artifacts so nobody silently serves outdated φ.  This module
 turns that into a *liveness* story.  Each mutable dataset keeps a dynamic
 mirror of its graph; ``POST /{ds}/edges`` applies insert/delete ops to the
-mirror (exact incremental butterfly supports, cheap), the live engine —
-registered ``allow_stale=True`` — keeps answering from the last published
-φ, and a debounced background task re-decomposes off the hot path and
-hot-swaps the fresh artifact into the
-:class:`~repro.server.registry.ArtifactRegistry`.
+mirror (exact incremental butterfly supports, cheap) and then brings the
+served artifact back in sync one of two ways:
+
+* **Incremental patch** (the default for small batches): the mirror's
+  :class:`~repro.maintenance.incremental.IncrementalBitruss` tracker
+  repairs φ exactly inside each op's affected region, a patched artifact +
+  engine pair is built straight from the repaired φ — no decomposition —
+  and hot-swapped into the registry before the ``POST`` even returns.
+  Readers never see a stale version.
+* **Debounced parallel rebuild** (the fallback): when an op's affected
+  region crosses ``rebuild_threshold`` (as a fraction of the edge count),
+  the batch is too large, or the tracker has lost sync, the live engine —
+  registered ``allow_stale=True`` — keeps answering from the last
+  published φ while a debounced background task re-decomposes off the hot
+  path and hot-swaps the fresh artifact in.
 
 Debounce semantics: the rebuild waits for a quiet period of ``debounce``
 seconds after the *last* mutation, so an update burst costs one rebuild,
@@ -18,7 +28,9 @@ one follow-up rebuild when it finishes.  The decomposition itself runs in
 an executor thread via
 :meth:`~repro.maintenance.dynamic.DynamicBipartiteGraph.rebuild` — the
 shared offline/online rebuild path — optionally on the shared-memory
-:class:`~repro.runtime.pool.ParallelRuntime` (``workers > 1``).
+:class:`~repro.runtime.pool.ParallelRuntime` (``workers > 1``).  When it
+lands, the tracker is reseeded from the fresh φ so incremental patching
+resumes.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.maintenance.dynamic import DynamicBipartiteGraph
 from repro.server.registry import ArtifactRegistry
+from repro.service.artifacts import DecompositionArtifact
 from repro.service.engine import QueryEngine
 
 
@@ -56,6 +69,18 @@ class UpdateManager:
     executor:
         Where the rebuild computation runs (default: the loop's default
         thread pool).
+    incremental:
+        Repair φ in place for small batches (default) instead of always
+        scheduling a rebuild.
+    rebuild_threshold:
+        Per-op affected-region budget as a fraction of the mirror's edge
+        count; an op whose region outgrows it aborts the repair and falls
+        back to the debounced rebuild.  ``0`` disables incremental
+        patching outright (every region has at least one edge).
+    max_incremental_batch:
+        Batches with more ops than this skip the per-op repair and go
+        straight to one debounced rebuild (a bulk load should not pay m
+        localized re-peels).
     """
 
     def __init__(
@@ -66,15 +91,25 @@ class UpdateManager:
         workers: int = 1,
         algorithm: str = "bit-bu++",
         executor: Optional[Executor] = None,
+        incremental: bool = True,
+        rebuild_threshold: float = 0.15,
+        max_incremental_batch: int = 64,
     ) -> None:
         if debounce < 0:
             raise ValueError("debounce must be non-negative")
         if workers < 1:
             raise ValueError("workers must be positive")
+        if not 0.0 <= rebuild_threshold <= 1.0:
+            raise ValueError("rebuild_threshold must be in [0, 1]")
+        if max_incremental_batch < 1:
+            raise ValueError("max_incremental_batch must be positive")
         self.registry = registry
         self.debounce = debounce
         self.workers = workers
         self.algorithm = algorithm
+        self.incremental = incremental
+        self.rebuild_threshold = rebuild_threshold
+        self.max_incremental_batch = max_incremental_batch
         self._executor = executor
         self._dynamics: Dict[str, DynamicBipartiteGraph] = {}
         self._gen: Dict[str, int] = {}
@@ -83,6 +118,8 @@ class UpdateManager:
         self._mutations: Dict[str, int] = {}
         self._rebuild_errors: Dict[str, int] = {}
         self._last_error: Dict[str, Optional[str]] = {}
+        self._patches: Dict[str, int] = {}
+        self._fallbacks: Dict[str, int] = {}
 
     # ----------------------------------------------------------- wiring
 
@@ -116,6 +153,17 @@ class UpdateManager:
         self._mutations[name] = 0
         self._rebuild_errors[name] = 0
         self._last_error[name] = None
+        self._patches[name] = 0
+        self._fallbacks[name] = 0
+        if self.incremental and dynamic.tracker is None:
+            # Seed the φ tracker from the artifact being served — exact for
+            # the mirror's current edge set, so no decomposition runs here.
+            try:
+                dynamic.enable_incremental(entry.artifact.phi_by_endpoints())
+            except ValueError:
+                # A caller-supplied mirror that already drifted from the
+                # artifact: let the tracker compute its own seed.
+                dynamic.enable_incremental()
         return dynamic
 
     def is_mutable(self, name: str) -> bool:
@@ -129,13 +177,19 @@ class UpdateManager:
     # -------------------------------------------------------- mutations
 
     def apply(self, name: str, ops: Sequence[Dict[str, object]]) -> Dict[str, object]:
-        """Apply edge ops and schedule the debounced rebuild.
+        """Apply edge ops; patch the served φ in place or schedule a rebuild.
 
         Each op is ``{"op": "insert"|"delete", "u": int, "v": int}``.  Ops
         apply sequentially; the first invalid op raises
         :class:`MutationError` (earlier ops in the list stay applied — the
-        scheduled rebuild still reconciles the artifact with whatever
-        state the mirror reached).
+        sync step still reconciles the artifact with whatever state the
+        mirror reached).
+
+        With incremental maintenance enabled, a small batch whose per-op
+        affected regions stay under ``rebuild_threshold`` is repaired
+        exactly and hot-swapped before this call returns (``"rebuild":
+        "incremental"`` in the response); anything else schedules the
+        debounced background rebuild (``"rebuild": "scheduled"``).
         """
         if not self.is_mutable(name):
             raise MutationError(
@@ -144,8 +198,23 @@ class UpdateManager:
         dynamic = self._dynamics[name]
         if not isinstance(ops, Sequence) or isinstance(ops, (str, bytes)):
             raise MutationError("ops must be a list of edge operations")
+        tracker = dynamic.tracker
+        use_tracker = (
+            self.incremental
+            and tracker is not None
+            and not tracker.dirty
+            and len(ops) <= self.max_incremental_batch
+            and self.rebuild_threshold > 0.0
+        )
+        # The plain mutators desync the tracker's φ; it must be declared
+        # dirty, but only once a mutation actually lands — a batch rejected
+        # wholesale (applied=0) leaves φ exact and must not force the next
+        # batch onto the rebuild path.
+        needs_dirty = tracker is not None and not tracker.dirty and not use_tracker
         applied = 0
         butterflies = 0
+        fell_back = False
+        error: Optional[MutationError] = None
         try:
             for op in ops:
                 if not isinstance(op, dict):
@@ -162,44 +231,112 @@ class UpdateManager:
                     raise MutationError(
                         f"op #{applied} needs integer 'u' and 'v' fields"
                     )
-                if kind == "insert":
-                    butterflies += dynamic.insert_edge(u, v)
-                elif kind == "delete":
-                    try:
-                        butterflies -= dynamic.delete_edge(u, v)
-                    except KeyError as exc:
-                        raise MutationError(str(exc)) from None
-                else:
+                if kind not in ("insert", "delete"):
                     raise MutationError(
                         f"op #{applied}: unknown op {kind!r} "
                         "(choose 'insert' or 'delete')"
                     )
+                if use_tracker:
+                    assert tracker is not None
+                    cap = int(
+                        self.rebuild_threshold * max(1, dynamic.num_edges)
+                    )
+                    mutate = tracker.insert if kind == "insert" else tracker.delete
+                    report = mutate(u, v, max_region_edges=cap)
+                    delta = report.butterflies
+                    if report.fallback:
+                        # The region outgrew the budget: the mutation is
+                        # applied, φ is not repaired; remaining ops take
+                        # the plain path and one rebuild reconciles.
+                        use_tracker = False
+                        fell_back = True
+                elif kind == "insert":
+                    delta = dynamic.insert_edge(u, v)
+                else:
+                    delta = dynamic.delete_edge(u, v)
+                if needs_dirty:
+                    assert tracker is not None
+                    tracker.mark_dirty()
+                    needs_dirty = False
+                butterflies += delta if kind == "insert" else -delta
                 applied += 1
         except ValueError as exc:
             if not isinstance(exc, MutationError):
                 exc = MutationError(f"op #{applied}: {exc}")
             exc.applied = applied  # type: ignore[attr-defined]
-            if applied:
-                self._note_mutations(name, applied)
-            raise exc
-        if applied:
-            # An empty ops list must not cost a rebuild (or keep resetting
-            # the debounce clock of one that is genuinely needed).
-            self._note_mutations(name, applied)
+            error = exc
+        mode = "not_needed"
+        if applied or fell_back:
+            self._mutations[name] += applied
+            if use_tracker and not fell_back:
+                self._patch(name)
+                mode = "incremental"
+            else:
+                if fell_back:
+                    self._fallbacks[name] += 1
+                self._schedule(name)
+                mode = "scheduled"
+        if error is not None:
+            raise error
         return {
             "applied": applied,
             "butterfly_delta": butterflies,
             "num_edges": dynamic.num_edges,
-            "rebuild": "scheduled" if applied else "not_needed",
+            "rebuild": mode,
         }
 
-    def _note_mutations(self, name: str, count: int) -> None:
+    def _schedule(self, name: str) -> None:
+        """Restart the debounce clock and ensure a refresh task is running."""
         self._gen[name] += 1
-        self._mutations[name] += count
         if self._tasks.get(name) is None:
             self._tasks[name] = asyncio.get_running_loop().create_task(
                 self._refresh_loop(name)
             )
+
+    def _patch(self, name: str) -> None:
+        """Publish the tracker's repaired φ as a fresh artifact + engine.
+
+        No decomposition runs: the patched snapshot and φ come straight
+        from the incremental tracker, the hierarchy is derived from them,
+        and the pair is hot-swapped like a rebuild's would be — in-flight
+        leases keep the old engine, later requests see the new version.
+
+        Deliberately synchronous on the loop thread, like ``apply()``
+        itself: publishing before the ``POST`` returns keeps the mirror
+        and the registry ordered with no await window a concurrent batch
+        could interleave into.  The cost is O(m) (snapshot sort, graph
+        hash, hierarchy sweep — tens of milliseconds on the largest
+        bundled dataset), paid once per accepted batch, not per op; if a
+        deployment outgrows that, this is the seam to move onto the
+        executor behind a per-dataset publish lock.
+        """
+        entry = self.registry.get(name)
+        dynamic = self._dynamics[name]
+        tracker = dynamic.tracker
+        assert tracker is not None and not tracker.dirty
+        graph, phi = tracker.phi_snapshot()
+        old = entry.artifact
+        artifact = DecompositionArtifact(
+            graph=graph,
+            phi=phi,
+            algorithm=old.algorithm,
+            meta={
+                **{k: v for k, v in old.meta.items() if k != "patches"},
+                "patches": int(old.meta.get("patches", 0) or 0) + 1,
+            },
+        )
+        old_engine = entry.engine
+        engine = QueryEngine(
+            artifact, cache_size=entry.cache_size, allow_stale=True
+        )
+        self.registry.swap(name, artifact, engine=engine)
+        dynamic.unregister_artifact(old_engine)
+        dynamic.register_artifact(engine)
+        # The mirror advanced past whatever snapshot an in-flight rebuild
+        # took: bump the generation so that rebuild's staleness check sees
+        # the patch and marks its (older) artifact stale on landing.
+        self._gen[name] += 1
+        self._patches[name] += 1
 
     # ---------------------------------------------------------- rebuild
 
@@ -231,7 +368,6 @@ class UpdateManager:
         """One rebuild + hot-swap cycle (runs the heavy part off-loop)."""
         entry = self.registry.get(name)
         dynamic = self._dynamics[name]
-        old_engine = entry.engine
         # Snapshot on the loop thread so the frozen edge set is consistent
         # with every apply() that has returned to a client.
         gen_at_snapshot = self._gen[name]
@@ -252,10 +388,21 @@ class UpdateManager:
         loop = asyncio.get_running_loop()
         artifact, engine = await loop.run_in_executor(self._executor, _build)
         # Back on the loop thread: swap atomically and rewire staleness
-        # subscriptions to the new pair.
+        # subscriptions to the new pair.  The outgoing engine is read *now*
+        # — an incremental patch may have swapped it while the build ran,
+        # and unregistering a stale capture would orphan a watcher.
+        old_engine = entry.engine
         self.registry.swap(name, artifact, engine=engine)
         dynamic.unregister_artifact(old_engine)
         dynamic.register_artifact(engine)
+        tracker = dynamic.tracker
+        if tracker is not None:
+            try:
+                tracker.reseed(artifact.phi_by_endpoints())
+            except ValueError:
+                # Mutations landed while the build ran; the follow-up
+                # rebuild the refresh loop runs next will reseed.
+                pass
         if self._gen[name] != gen_at_snapshot:
             # Mutations landed while the build ran: the fresh engine is
             # already behind.  Mark it stale immediately so /metrics and
@@ -285,6 +432,11 @@ class UpdateManager:
                 "last_error": self._last_error[name],
                 "pending_rebuild": self.pending(name),
                 "mirror_edges": dyn.num_edges,
+                "incremental_patches": self._patches[name],
+                "incremental_fallbacks": self._fallbacks[name],
+                "tracker_dirty": bool(
+                    dyn.tracker is not None and dyn.tracker.dirty
+                ),
             }
             for name, dyn in self._dynamics.items()
         }

@@ -76,6 +76,20 @@ def _phi_sha256(phi: np.ndarray) -> str:
     ).hexdigest()
 
 
+def phi_by_endpoints(graph: BipartiteGraph, phi: np.ndarray) -> Dict:
+    """φ keyed by ``(u, v)`` endpoint pairs instead of edge ids.
+
+    The id-stable form the incremental maintenance layer tracks: edge ids
+    are reassigned whenever a snapshot resorts, endpoints never are.  Used
+    to seed and reseed :class:`~repro.maintenance.incremental.IncrementalBitruss`
+    from any (graph, φ) pair.
+    """
+    return {
+        graph.edge_endpoints(eid): int(phi[eid])
+        for eid in range(graph.num_edges)
+    }
+
+
 @dataclass
 class DecompositionArtifact:
     """A frozen decomposition: graph + φ + provenance, ready to serve.
@@ -149,9 +163,40 @@ class DecompositionArtifact:
         """Mark the artifact stale (its source graph has changed)."""
         self.stale = True
 
+    def patch(
+        self,
+        graph: BipartiteGraph,
+        phi: np.ndarray,
+        **_info: object,
+    ) -> None:
+        """Replace the served content in place and clear staleness.
+
+        The incremental-maintenance path
+        (:meth:`repro.maintenance.dynamic.DynamicBipartiteGraph.apply`)
+        calls this after a localized φ repair: the patched snapshot and φ
+        array become the artifact's new content, the graph hash is
+        recomputed, and the artifact is fresh again — no decomposition ran.
+        Extra keyword arguments (``max_affected_k``, ``affected_gids``) are
+        accepted for signature compatibility with
+        :meth:`repro.service.engine.QueryEngine.patch` and ignored here.
+        """
+        phi = np.array(phi, dtype=np.int64, copy=True)
+        if len(phi) != graph.num_edges:
+            raise ArtifactError("phi must have one entry per edge")
+        phi.flags.writeable = False
+        self.graph = graph
+        self.phi = phi
+        self.graph_hash = graph_sha256(graph)
+        self.meta["patches"] = int(self.meta.get("patches", 0) or 0) + 1
+        self.stale = False
+
     def save(self, path) -> None:
         """Write the artifact to ``path`` (see :func:`save_artifact`)."""
         save_artifact(self, path)
+
+    def phi_by_endpoints(self) -> Dict:
+        """This artifact's φ keyed by endpoints (see :func:`phi_by_endpoints`)."""
+        return phi_by_endpoints(self.graph, self.phi)
 
     @property
     def max_k(self) -> int:

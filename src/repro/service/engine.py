@@ -146,6 +146,57 @@ class QueryEngine:
         self._decomposition = None
         self.clear_cache()
 
+    def patch(
+        self,
+        graph: BipartiteGraph,
+        phi: np.ndarray,
+        *,
+        max_affected_k: Optional[int] = None,
+        affected_gids: Optional[set] = None,
+    ) -> None:
+        """Adopt an incrementally repaired decomposition without recompute.
+
+        The write side of localized φ maintenance
+        (:meth:`repro.maintenance.dynamic.DynamicBipartiteGraph.apply`):
+        the underlying artifact is patched in place, the hierarchy is
+        re-derived from the patched φ (one union-find sweep — no peeling),
+        and the memoized results are invalidated *selectively* when the
+        caller says how far the repair reached:
+
+        * ``community`` entries survive for levels strictly above
+          ``max_affected_k`` — the k-bitrusses there are untouched, and the
+          cached value stores endpoint pairs, not (reassigned) edge ids;
+        * ``max_k`` entries survive for vertices outside ``affected_gids``
+          (no incident edge changed φ or existence);
+        * everything keyed by edge ids (``k_bitruss``,
+          ``hierarchy_path``) and the global ``phi_histogram`` drop
+          unconditionally — edge ids shift whenever the snapshot resorts.
+
+        Without both hints, the whole cache is dropped.
+        """
+        # Vertex-keyed cache entries are only transplantable while the gid
+        # space is unchanged (adding a lower vertex shifts every upper gid).
+        same_layers = (
+            self.graph.num_upper == graph.num_upper
+            and self.graph.num_lower == graph.num_lower
+        )
+        self.artifact.patch(graph, phi)
+        self.graph = self.artifact.graph
+        self.phi = self.artifact.phi
+        self.hierarchy = build_hierarchy(self.artifact.graph, self.artifact.phi)
+        self._decomposition = None
+        if max_affected_k is None or affected_gids is None or not same_layers:
+            self.clear_cache()
+            return
+        survivors = OrderedDict()
+        for key, value in self._cache.items():
+            op = key[0]
+            if op == "community" and key[1] > max_affected_k:
+                survivors[key] = value
+            elif op == "max_k" and key[1] not in affected_gids:
+                survivors[key] = value
+        self._cache = survivors
+
     def _check_fresh(self) -> None:
         if self.artifact.stale and not self.allow_stale:
             raise StaleArtifactError(

@@ -36,13 +36,28 @@ class TestBasics:
 
     def test_delete_missing_rejected(self):
         dyn = DynamicBipartiteGraph(1, 1)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"edge \(0, 0\) not present"):
             dyn.delete_edge(0, 0)
 
     def test_out_of_range_insert(self):
         dyn = DynamicBipartiteGraph(1, 1)
         with pytest.raises(ValueError):
             dyn.insert_edge(1, 0)
+
+    def test_error_surface_is_uniform_valueerror(self):
+        """insert/delete/support_of all raise ValueError with range checks."""
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0)])
+        for method in (dyn.insert_edge, dyn.delete_edge, dyn.support_of):
+            with pytest.raises(ValueError, match="upper endpoint 5 out of range"):
+                method(5, 0)
+            with pytest.raises(ValueError, match="lower endpoint -1 out of range"):
+                method(0, -1)
+        with pytest.raises(ValueError, match=r"edge \(1, 1\) not present"):
+            dyn.delete_edge(1, 1)
+        with pytest.raises(ValueError, match=r"edge \(1, 1\) not present"):
+            dyn.support_of(1, 1)
+        with pytest.raises(ValueError, match="already present"):
+            dyn.insert_edge(0, 0)
 
     def test_vertex_growth(self):
         dyn = DynamicBipartiteGraph(1, 1, [(0, 0)])

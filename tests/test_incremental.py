@@ -1,0 +1,402 @@
+"""Localized φ repair: exactness, regions, fallback, patch-in-place."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import bitruss_decomposition
+from repro.core.peeling_engine import NO_EXPIRY, peel_region
+from repro.datasets import load_dataset
+from repro.maintenance import (
+    DirtyTrackerError,
+    DynamicBipartiteGraph,
+    IncrementalBitruss,
+)
+from repro.service import QueryEngine, build_artifact
+
+ALGORITHM = "bit-bu-csr"
+
+
+def fresh_phi(dyn):
+    """Recompute φ from scratch, keyed by endpoints."""
+    graph = dyn.snapshot()
+    result = bitruss_decomposition(graph, algorithm=ALGORITHM)
+    return {
+        graph.edge_endpoints(e): int(result.phi[e])
+        for e in range(graph.num_edges)
+    }
+
+
+def assert_exact(tracker):
+    """Tracker φ must be bitwise identical to a full recompute."""
+    graph, phi = tracker.phi_snapshot()
+    result = bitruss_decomposition(graph, algorithm=ALGORITHM)
+    assert np.array_equal(phi, result.phi), (
+        "incremental phi diverged from recompute"
+    )
+
+
+# ------------------------------------------------------------- region peel
+
+
+class TestPeelRegion:
+    def test_empty_region(self):
+        assert peel_region(0, [], []).tolist() == []
+
+    def test_isolated_edges(self):
+        # No butterflies at all: every edge settles at phi = 0.
+        assert peel_region(3, [], []).tolist() == [0, 0, 0]
+
+    def test_single_interior_butterfly(self):
+        # Four edges of one butterfly, all interior: classic phi = 1.
+        flies = [[0, 1, 2, 3]]
+        assert peel_region(4, flies, [NO_EXPIRY]).tolist() == [1, 1, 1, 1]
+
+    def test_exterior_expiry_caps_support(self):
+        # One interior edge in two butterflies whose exteriors settle at
+        # phi 0 and 5: the level-0 expiry removes the first butterfly
+        # before the floor rises, so the edge peels at 1, not 2.
+        flies = [[0], [0]]
+        assert peel_region(1, flies, [0, 5]).tolist() == [1]
+
+    def test_expiry_never_fires_above_settle_level(self):
+        # Expiry far above the edge's own level changes nothing.
+        flies = [[0]]
+        assert peel_region(1, flies, [100]).tolist() == [1]
+
+
+# --------------------------------------------------------------- exactness
+
+
+class TestExactness:
+    def test_insert_completing_butterfly(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        tracker = dyn.enable_incremental()
+        report = tracker.insert(1, 1)
+        assert report.op == "insert"
+        assert report.butterflies == 1
+        assert report.changed[(1, 1)] == (-1, 1)
+        assert report.changed[(0, 0)] == (0, 1)
+        assert tracker.phi_of(0, 0) == 1
+        assert_exact(tracker)
+
+    def test_delete_breaking_butterfly(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        tracker = dyn.enable_incremental()
+        report = tracker.delete(0, 1)
+        assert report.op == "delete"
+        assert report.butterflies == 1
+        assert tracker.phi_of(0, 0) == 0
+        assert_exact(tracker)
+
+    def test_insert_toggle_restores_phi(self):
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)])
+        tracker = dyn.enable_incremental()
+        before = tracker.phi_map()
+        tracker.insert(2, 0)
+        tracker.delete(2, 0)
+        assert tracker.phi_map() == before
+
+    def test_cascading_rise(self):
+        # K_{2,4} minus one edge: re-inserting it lifts every edge to 3.
+        edges = [(u, v) for u in range(2) for v in range(4)]
+        edges.remove((1, 3))
+        dyn = DynamicBipartiteGraph(2, 4, edges)
+        tracker = dyn.enable_incremental()
+        report = tracker.insert(1, 3)
+        assert tracker.phi_of(0, 0) == 3
+        assert report.region_size == len(edges) + 1
+        assert_exact(tracker)
+
+    def test_seeded_churn_small_graphs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            dyn = DynamicBipartiteGraph(5, 5)
+            tracker = dyn.enable_incremental()
+            for _ in range(30):
+                u, v = int(rng.integers(0, 5)), int(rng.integers(0, 5))
+                if dyn.has_edge(u, v):
+                    tracker.delete(u, v)
+                else:
+                    tracker.insert(u, v)
+                assert_exact(tracker)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_random_churn_property(ops):
+    """Hypothesis: toggling random edges keeps φ exact after every step."""
+    dyn = DynamicBipartiteGraph(5, 5)
+    tracker = dyn.enable_incremental()
+    for u, v in ops:
+        if dyn.has_edge(u, v):
+            tracker.delete(u, v)
+        else:
+            tracker.insert(u, v)
+        assert_exact(tracker)
+
+
+@pytest.mark.parametrize("name", ["marvel", "condmat"])
+def test_bundled_dataset_churn(name):
+    """Interleaved insert/delete churn on bundled datasets stays bitwise
+    exact against a recompute after every step (ISSUE 5 acceptance)."""
+    graph = load_dataset(name)
+    result = bitruss_decomposition(graph, algorithm=ALGORITHM)
+    dyn = DynamicBipartiteGraph(
+        graph.num_upper, graph.num_lower, list(graph.edges())
+    )
+    tracker = dyn.enable_incremental(
+        {
+            graph.edge_endpoints(e): int(result.phi[e])
+            for e in range(graph.num_edges)
+        }
+    )
+    rng = np.random.default_rng(23)
+    edges = list(graph.edges())
+    steps = 0
+    while steps < 8:
+        u, v = edges[int(rng.integers(0, len(edges)))]
+        if dyn.has_edge(u, v):
+            tracker.delete(u, v)
+        else:
+            tracker.insert(u, v)
+        assert_exact(tracker)
+        steps += 1
+
+
+# ------------------------------------------------------- region + fallback
+
+
+class TestRegionsAndFallback:
+    def test_support_zero_ops_touch_nothing(self):
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        tracker = dyn.enable_incremental()
+        report = tracker.insert(0, 1)
+        assert report.butterflies == 0
+        assert report.region_size == 0
+        report = tracker.delete(0, 1)
+        assert report.region_size == 0
+        assert_exact(tracker)
+
+    def test_budget_exceeded_marks_dirty(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        tracker = dyn.enable_incremental()
+        report = tracker.insert(1, 1, max_region_edges=0)
+        assert report.fallback
+        assert tracker.dirty
+        # The mutation itself is applied; supports stay exact.
+        assert dyn.has_edge(1, 1)
+        assert dyn.support_of(0, 0) == 1
+        with pytest.raises(DirtyTrackerError):
+            tracker.phi_of(0, 0)
+        with pytest.raises(DirtyTrackerError):
+            tracker.phi_snapshot()
+        # Further mutations keep applying without repair ...
+        report = tracker.delete(0, 1)
+        assert report.fallback
+        # ... until a reseed restores service.
+        tracker.reseed(fresh_phi(dyn))
+        assert not tracker.dirty
+        assert_exact(tracker)
+
+    def test_rebuild_reseeds_attached_tracker(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        tracker = dyn.enable_incremental()
+        tracker.insert(1, 1, max_region_edges=0)
+        assert tracker.dirty
+        dyn.rebuild()
+        assert not tracker.dirty
+        assert tracker.phi_of(1, 1) == 1
+        assert_exact(tracker)
+
+    def test_reseed_rejects_wrong_coverage(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0)])
+        tracker = dyn.enable_incremental()
+        with pytest.raises(ValueError, match="cover exactly"):
+            tracker.reseed({(0, 0): 0, (1, 1): 0})
+
+    def test_delete_region_descends_in_phi(self):
+        # A high-phi core next to a low-phi fringe: deleting a fringe edge
+        # must not flood the core.
+        edges = [(u, v) for u in range(4) for v in range(4)]  # K44 core
+        edges += [(4, 0), (4, 1), (5, 0), (5, 1)]  # 2x2 fringe on v=0,1
+        dyn = DynamicBipartiteGraph(6, 4, edges)
+        tracker = dyn.enable_incremental()
+        report = tracker.delete(4, 0)
+        # The fringe edges sit far below the K44 core's phi; the repair
+        # region stays in the fringe.
+        assert report.region_size <= 6
+        assert_exact(tracker)
+
+
+# --------------------------------------------------------- patch-in-place
+
+
+class TestPatchInPlace:
+    def make_two_component_engine(self):
+        # Component A: an open 2x2 (phi 0); component B: K_{3,3} (phi 4).
+        edges_a = [(0, 0), (0, 1), (1, 0)]
+        edges_b = [(u, v) for u in (2, 3, 4) for v in (2, 3, 4)]
+        dyn = DynamicBipartiteGraph(5, 5, edges_a + edges_b)
+        dyn.enable_incremental()
+        artifact = build_artifact(dyn.snapshot(), algorithm=ALGORITHM)
+        engine = QueryEngine(artifact)
+        dyn.register_artifact(engine)
+        return dyn, engine
+
+    def test_apply_patches_engine_instead_of_stale(self):
+        dyn, engine = self.make_two_component_engine()
+        outcome = dyn.apply(inserts=[(1, 1)])
+        assert outcome.incremental
+        assert outcome.patched == 1
+        assert outcome.butterfly_delta == 1
+        assert not engine.stale  # no StaleArtifactError for readers
+        assert engine.phi_of(1, 1) == 1
+        fresh = QueryEngine(build_artifact(dyn.snapshot(), algorithm=ALGORITHM))
+        assert engine.phi_histogram() == fresh.phi_histogram()
+        assert engine.stats()["max_k"] == fresh.stats()["max_k"]
+
+    def test_engine_and_hierarchy_parity_after_churn(self):
+        dyn, engine = self.make_two_component_engine()
+        rng = np.random.default_rng(3)
+        for _ in range(12):
+            u, v = int(rng.integers(0, 5)), int(rng.integers(0, 5))
+            if dyn.has_edge(u, v):
+                outcome = dyn.apply(deletes=[(u, v)])
+            else:
+                outcome = dyn.apply(inserts=[(u, v)])
+            assert outcome.incremental
+            fresh = QueryEngine(
+                build_artifact(dyn.snapshot(), algorithm=ALGORITHM)
+            )
+            assert engine.phi_histogram() == fresh.phi_histogram()
+            assert engine.stats()["max_k"] == fresh.stats()["max_k"]
+            for k in (1, 2, fresh.max_phi):
+                assert engine.k_bitruss(k) == fresh.k_bitruss(k)
+            for upper in range(5):
+                assert engine.max_k(upper=upper) == fresh.max_k(upper=upper)
+                if engine.max_k(upper=upper) > 0:
+                    ours = engine.community(1, upper=upper)
+                    theirs = fresh.community(1, upper=upper)
+                    assert sorted(ours.edges) == sorted(theirs.edges)
+
+    def test_selective_cache_invalidation(self):
+        dyn, engine = self.make_two_component_engine()
+        # Warm vertex-keyed entries on the untouched component B ...
+        community_b = engine.community(4, upper=2)
+        max_k_b = engine.max_k(upper=3)
+        # ... and id-keyed entries that must always drop.
+        engine.k_bitruss(4)
+        engine.phi_histogram()
+        gid_2 = engine.graph.gid_of_upper(2)
+        gid_3 = engine.graph.gid_of_upper(3)
+
+        outcome = dyn.apply(inserts=[(1, 1)])  # completes A's butterfly
+        assert outcome.incremental
+        assert outcome.max_affected_k == 1
+
+        cached_keys = set(engine._cache)
+        assert ("community", 4, gid_2) in cached_keys
+        assert ("max_k", gid_3) in cached_keys
+        assert not any(key[0] == "k_bitruss" for key in cached_keys)
+        assert not any(key[0] == "phi_histogram" for key in cached_keys)
+
+        # Surviving entries still answer correctly.
+        hits_before = engine.cache_info()["hits"]
+        assert engine.max_k(upper=3) == max_k_b
+        assert sorted(engine.community(4, upper=2).edges) == sorted(
+            community_b.edges
+        )
+        assert engine.cache_info()["hits"] == hits_before + 2
+        fresh = QueryEngine(build_artifact(dyn.snapshot(), algorithm=ALGORITHM))
+        assert engine.max_k(upper=3) == fresh.max_k(upper=3)
+
+    def test_apply_plain_path_leaves_watchers_stale(self):
+        dyn, engine = self.make_two_component_engine()
+        outcome = dyn.apply(inserts=[(1, 1)], incremental=False)
+        assert not outcome.incremental
+        assert outcome.patched == 0
+        assert engine.stale
+
+    def test_apply_fallback_leaves_watchers_stale(self):
+        dyn, engine = self.make_two_component_engine()
+        outcome = dyn.apply(inserts=[(1, 1)], max_region_fraction=1e-9)
+        assert not outcome.incremental
+        assert outcome.reports[-1].fallback
+        assert engine.stale
+        assert dyn.tracker.dirty
+
+    def test_apply_deletes_before_inserts(self):
+        dyn, engine = self.make_two_component_engine()
+        # Same edge deleted and re-inserted in one batch: net no-op.
+        before = dyn.tracker.phi_map()
+        outcome = dyn.apply(inserts=[(2, 2)], deletes=[(2, 2)])
+        assert outcome.incremental
+        assert dyn.tracker.phi_map() == before
+
+    def test_delete_with_no_phi_changes_still_invalidates_its_levels(self):
+        """A deleted edge whose removal moves no other φ must still drop
+        community caches at its own former levels — those k-bitrusses lost
+        the edge itself (regression: max_affected_k ignored the deleted
+        edge when `changed` was empty)."""
+        # K_{3,3} plus one slack edge (3, 2): the extra edge settles at a
+        # positive phi while the core has enough slack that deleting it
+        # changes nobody else's phi.
+        edges = [(u, v) for u in (0, 1, 2) for v in (0, 1, 2)] + [(3, 0), (3, 1), (3, 2)]
+        dyn = DynamicBipartiteGraph(4, 3, edges)
+        dyn.enable_incremental()
+        artifact = build_artifact(dyn.snapshot(), algorithm=ALGORITHM)
+        engine = QueryEngine(artifact)
+        dyn.register_artifact(engine)
+        phi_32 = engine.phi_of(3, 2)
+        assert phi_32 > 0
+        # Warm a community cache at the deleted edge's own level.
+        before = engine.community(phi_32, upper=0)
+        assert [3, 2] in [[u, v] for u, v in before.edges] or (3, 2) in before.edges
+
+        outcome = dyn.apply(deletes=[(3, 2)])
+        assert outcome.incremental
+        assert outcome.max_affected_k >= phi_32
+        after = engine.community(phi_32, upper=0)
+        assert (3, 2) not in set(after.edges)
+        fresh = QueryEngine(build_artifact(dyn.snapshot(), algorithm=ALGORITHM))
+        assert sorted(after.edges) == sorted(
+            fresh.community(phi_32, upper=0).edges
+        )
+
+    def test_failed_reseed_leaves_tracker_untouched(self):
+        """reseed() with non-covering φ must refuse atomically — the
+        rebuild(snapshot=pinned) race relies on it (regression: the old
+        code clobbered φ before validating)."""
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        tracker = dyn.enable_incremental()
+        snap = dyn.snapshot()
+        dyn.apply(inserts=[(2, 0), (2, 1)])
+        # Decompose the pre-mutation snapshot: its phi cannot cover the
+        # current edges, so the rebuild's reseed attempt is refused ...
+        dyn.rebuild(snapshot=snap)
+        # ... and the tracker still serves the *current* exact phi.
+        assert not tracker.dirty
+        assert tracker.phi_of(2, 0) == 2
+        assert_exact(tracker)
+
+    def test_artifact_patch_counts_and_hash(self):
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        dyn.enable_incremental()
+        artifact = build_artifact(dyn.snapshot(), algorithm=ALGORITHM)
+        dyn.register_artifact(artifact)
+        old_hash = artifact.graph_hash
+        outcome = dyn.apply(inserts=[(1, 1)])
+        assert outcome.patched == 1
+        assert not artifact.stale
+        assert artifact.meta["patches"] == 1
+        assert artifact.graph_hash != old_hash
+        assert artifact.graph.num_edges == 4
+        assert artifact.max_k == 1

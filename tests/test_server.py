@@ -3,6 +3,7 @@
 import asyncio
 import json
 
+import numpy as np
 import pytest
 
 from repro.datasets import dataset_names, load_dataset
@@ -47,7 +48,7 @@ def fig4_artifact():
     return build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
 
 
-def make_server(artifacts, *, mutable=(), **kwargs):
+def make_server(artifacts, *, mutable=(), incremental=True, **kwargs):
     """Registry + server over {name: artifact}; caller starts/stops it."""
     registry = ArtifactRegistry()
     for name, artifact in artifacts.items():
@@ -55,7 +56,9 @@ def make_server(artifacts, *, mutable=(), **kwargs):
     updates = None
     if mutable:
         updates = UpdateManager(
-            registry, debounce=kwargs.pop("debounce", 0.05)
+            registry,
+            debounce=kwargs.pop("debounce", 0.05),
+            incremental=incremental,
         )
         for name in mutable:
             updates.attach(name)
@@ -502,12 +505,20 @@ class TestRegistry:
 
 class TestUpdatesAndHotSwap:
     def test_edge_mutation_round_trip(self):
-        """POST /edges → debounced rebuild → hot-swap, end to end."""
+        """POST /edges → debounced rebuild → hot-swap, end to end.
+
+        Pinned to the full-rebuild path (incremental=False): the debounced
+        rebuild machinery stays the fallback for large regions and must
+        keep working end to end.
+        """
 
         async def scenario():
             artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
             server = make_server(
-                {"fig4": artifact}, mutable={"fig4"}, debounce=0.02
+                {"fig4": artifact},
+                mutable={"fig4"},
+                debounce=0.02,
+                incremental=False,
             )
             async with server:
                 port = server.port
@@ -608,7 +619,10 @@ class TestUpdatesAndHotSwap:
         async def scenario():
             artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
             server = make_server(
-                {"fig4": artifact}, mutable={"fig4"}, debounce=0.05
+                {"fig4": artifact},
+                mutable={"fig4"},
+                debounce=0.05,
+                incremental=False,
             )
             async with server:
                 for v in (2, 3, 4):
@@ -638,7 +652,10 @@ class TestUpdatesAndHotSwap:
         async def scenario():
             artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
             server = make_server(
-                {"fig4": artifact}, mutable={"fig4"}, debounce=0.01
+                {"fig4": artifact},
+                mutable={"fig4"},
+                debounce=0.01,
+                incremental=False,
             )
             async with server:
                 updates = server.updates
@@ -691,7 +708,10 @@ class TestUpdatesAndHotSwap:
         async def scenario():
             artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
             server = make_server(
-                {"fig4": artifact}, mutable={"fig4"}, debounce=0.01
+                {"fig4": artifact},
+                mutable={"fig4"},
+                debounce=0.01,
+                incremental=False,
             )
             async with server:
                 updates = server.updates
@@ -801,6 +821,264 @@ class TestUpdatesAndHotSwap:
             updates.attach("fig4")
             with pytest.raises(ValueError, match="already mutable"):
                 updates.attach("fig4")
+
+        run(scenario())
+
+
+# --------------------------------------------------- incremental maintenance
+
+
+async def raw_exchange(port, payload: bytes):
+    """Send raw bytes (optionally truncated) and return the raw response."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        writer.write_eof()
+        await writer.drain()
+        return await reader.read()
+    finally:
+        writer.close()
+
+
+class TestRequestParsing:
+    """The keep-alive parser must reject truncated and smuggled framings."""
+
+    def test_truncated_mid_headers_is_400(self, fig4_artifact):
+        async def scenario():
+            async with make_server({"fig4": fig4_artifact}) as server:
+                raw = await raw_exchange(
+                    server.port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                )
+                head, _, body = raw.partition(b"\r\n\r\n")
+                assert b"400" in head.split(b"\r\n")[0]
+                assert json.loads(body)["error"]["type"] == "truncated_request"
+
+        run(scenario())
+
+    def test_colonless_header_line_is_400(self, fig4_artifact):
+        async def scenario():
+            async with make_server({"fig4": fig4_artifact}) as server:
+                for bad in (b"Host t\r\n", b": empty-name\r\n"):
+                    raw = await raw_exchange(
+                        server.port,
+                        b"GET /healthz HTTP/1.1\r\n" + bad + b"\r\n",
+                    )
+                    head, _, body = raw.partition(b"\r\n\r\n")
+                    assert b"400" in head.split(b"\r\n")[0]
+                    assert json.loads(body)["error"]["type"] == "bad_header"
+
+        run(scenario())
+
+    def test_duplicate_content_length_is_400(self, fig4_artifact):
+        async def scenario():
+            async with make_server({"fig4": fig4_artifact}) as server:
+                raw = await raw_exchange(
+                    server.port,
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 0\r\nContent-Length: 5\r\n\r\n",
+                )
+                head, _, body = raw.partition(b"\r\n\r\n")
+                assert b"400" in head.split(b"\r\n")[0]
+                payload = json.loads(body)
+                assert payload["error"]["type"] == "bad_header"
+                assert "Content-Length" in payload["error"]["message"]
+
+        run(scenario())
+
+    def test_other_duplicate_headers_still_tolerated(self, fig4_artifact):
+        async def scenario():
+            async with make_server({"fig4": fig4_artifact}) as server:
+                raw = await raw_exchange(
+                    server.port,
+                    b"GET /healthz HTTP/1.1\r\nHost: a\r\nHost: b\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+                assert b"200" in raw.split(b"\r\n")[0]
+
+        run(scenario())
+
+
+class TestIncrementalServing:
+    def test_small_batch_patches_without_rebuild(self):
+        """POST /edges small batch → localized φ repair → immediate swap,
+        zero rebuilds, parity with an offline recompute."""
+
+        async def scenario():
+            from repro.butterfly.counting import count_per_edge
+
+            graph = load_dataset("github")
+            artifact = build_artifact(graph, algorithm=ALGORITHM)
+            support = count_per_edge(graph)
+            eid = int(np.flatnonzero(support == 0)[0])
+            u, v = graph.edge_endpoints(eid)
+            server = make_server({"github": artifact}, mutable={"github"})
+            async with server:
+                port = server.port
+                status, body = await http(
+                    port,
+                    "POST",
+                    "/github/edges",
+                    {"ops": [{"op": "delete", "u": u, "v": v}]},
+                )
+                assert status == 200
+                assert body["rebuild"] == "incremental"
+                assert body["applied"] == 1
+                # Published synchronously: new version, fresh, no task.
+                assert not server.updates.pending("github")
+                _, listing = await http(port, "GET", "/datasets")
+                assert listing[0]["version"] == 2
+                assert listing[0]["stale"] is False
+                assert listing[0]["num_edges"] == graph.num_edges - 1
+
+                status, body = await http(
+                    port,
+                    "POST",
+                    "/github/edges",
+                    {"ops": [{"op": "insert", "u": u, "v": v}]},
+                )
+                assert status == 200
+                assert body["rebuild"] == "incremental"
+
+                _, hist = await http(port, "GET", "/github/histogram")
+                fresh = QueryEngine(
+                    build_artifact(
+                        server.updates.dynamic("github").snapshot(),
+                        algorithm=ALGORITHM,
+                    )
+                )
+                assert hist["result"] == jsonify(fresh.phi_histogram())
+
+                _, metrics = await http(port, "GET", "/metrics")
+                up = metrics["updates"]["github"]
+                assert up["incremental_patches"] == 2
+                assert up["rebuilds"] == 0
+                assert up["incremental_fallbacks"] == 0
+                assert up["tracker_dirty"] is False
+
+        run(scenario())
+
+    def test_threshold_fallback_schedules_rebuild_and_reseeds(self):
+        """rebuild_threshold=0 forces the fallback path; the rebuild lands
+        and reseeds the tracker so later batches patch incrementally."""
+
+        async def scenario():
+            artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
+            registry = ArtifactRegistry()
+            registry.register("fig4", artifact, allow_stale=True)
+            updates = UpdateManager(
+                registry, debounce=0.01, rebuild_threshold=0.0
+            )
+            updates.attach("fig4")
+            outcome = updates.apply(
+                "fig4", [{"op": "insert", "u": 0, "v": 3}]
+            )
+            assert outcome["rebuild"] == "scheduled"
+            dynamic = updates.dynamic("fig4")
+            assert dynamic.tracker.dirty
+            await updates.wait_idle()
+            stats = updates.stats()["fig4"]
+            assert stats["rebuilds"] == 1
+            assert stats["tracker_dirty"] is False  # reseeded by the rebuild
+            assert registry.get("fig4").version == 2
+            # With the budget restored, the next small op patches in place.
+            updates.rebuild_threshold = 1.0
+            outcome = updates.apply(
+                "fig4", [{"op": "delete", "u": 0, "v": 3}]
+            )
+            assert outcome["rebuild"] == "incremental"
+            assert registry.get("fig4").version == 3
+            assert updates.stats()["fig4"]["incremental_patches"] == 1
+
+        run(scenario())
+
+    def test_oversized_batch_goes_to_rebuild(self):
+        async def scenario():
+            artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
+            registry = ArtifactRegistry()
+            registry.register("fig4", artifact, allow_stale=True)
+            updates = UpdateManager(
+                registry, debounce=0.01, max_incremental_batch=1
+            )
+            updates.attach("fig4")
+            outcome = updates.apply(
+                "fig4",
+                [
+                    {"op": "insert", "u": 0, "v": 3},
+                    {"op": "delete", "u": 0, "v": 3},
+                ],
+            )
+            assert outcome["rebuild"] == "scheduled"
+            assert updates.dynamic("fig4").tracker.dirty
+            await updates.wait_idle()
+            assert updates.stats()["fig4"]["tracker_dirty"] is False
+
+        run(scenario())
+
+    def test_rejected_oversized_batch_keeps_tracker_clean(self):
+        """A too-large batch whose first op is invalid applies nothing —
+        the tracker must stay clean so the next small batch still patches
+        incrementally (regression: mark_dirty ran before validation)."""
+
+        async def scenario():
+            artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
+            registry = ArtifactRegistry()
+            registry.register("fig4", artifact, allow_stale=True)
+            updates = UpdateManager(
+                registry, debounce=0.01, max_incremental_batch=1
+            )
+            updates.attach("fig4")
+            from repro.server.updates import MutationError
+
+            with pytest.raises(MutationError):
+                updates.apply(
+                    "fig4",
+                    [
+                        {"op": "insert", "u": 999, "v": 0},
+                        {"op": "insert", "u": 0, "v": 3},
+                    ],
+                )
+            assert not updates.dynamic("fig4").tracker.dirty
+            assert not updates.pending("fig4")
+
+        run(scenario())
+
+    def test_partial_batch_error_still_patches_applied_prefix(self):
+        """A MutationError mid-batch leaves earlier ops applied; the
+        incremental path must still publish the repaired prefix."""
+
+        async def scenario():
+            artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
+            server = make_server({"fig4": artifact}, mutable={"fig4"})
+            async with server:
+                graph = artifact.graph
+                absent = next(
+                    (u, v)
+                    for u in range(graph.num_upper)
+                    for v in range(graph.num_lower)
+                    if not graph.has_edge(u, v)
+                )
+                status, body = await http(
+                    server.port,
+                    "POST",
+                    "/fig4/edges",
+                    {
+                        "ops": [
+                            {"op": "insert", "u": absent[0], "v": absent[1]},
+                            {"op": "insert", "u": 999, "v": 0},
+                        ]
+                    },
+                )
+                assert status == 400
+                assert body["error"]["applied"] == 1
+                # The applied prefix is live: either patched in place or a
+                # rebuild reconciles it, but the mirror and the served
+                # graph must agree once idle.
+                await server.updates.wait_idle()
+                entry = server.registry.get("fig4")
+                assert (
+                    entry.engine.graph.num_edges
+                    == server.updates.dynamic("fig4").num_edges
+                )
 
         run(scenario())
 
