@@ -12,6 +12,8 @@ directly.
 
 from __future__ import annotations
 
+import resource
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -129,6 +131,18 @@ def run_algorithm(
     if graph is None:
         _run_cache[key] = record
     return record
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise so
+    the benches can record one comparable column everywhere.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(rss)
+    return int(rss) * 1024
 
 
 def bs_allowed(dataset: str) -> bool:

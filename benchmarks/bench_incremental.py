@@ -30,7 +30,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._shared import RESULTS_DIR
+from benchmarks._shared import RESULTS_DIR, peak_rss_bytes
 from repro.core.api import bitruss_decomposition
 from repro.datasets import load_dataset
 from repro.maintenance import DynamicBipartiteGraph
@@ -137,6 +137,7 @@ def bench_dataset(name):
         "mean_fallback_abort_seconds": round(mean_abort, 6),
         "speedup": round(rebuild_s / mean_repaired, 1),
         "effective_speedup": round(rebuild_s / effective_mean, 2),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

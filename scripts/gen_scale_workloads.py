@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Materialize the scale-tier synthetic workloads from a manifest.
+
+The scale harness (``benchmarks/bench_scale.py`` and the
+``@pytest.mark.scale`` tests) exercises the million-edge path: streaming
+ingestion, mmap artifacts and query latency.  This script turns a JSON
+manifest into the edge-list files those benches consume, generating each
+graph *in chunks* so a million-edge workload never holds the full edge
+set in Python memory.
+
+Manifest format (JSON)::
+
+    {
+      "workloads": [
+        {
+          "name": "cl-1m",
+          "model": "chung-lu",          # chung-lu | erdos-renyi
+          "upper": 500000,
+          "lower": 500000,
+          "edges": 1000000,
+          "seed": 7,                     # optional, default 7
+          "exponent": 2.5,               # chung-lu only, default 2.5
+          "output": "cl-1m.txt.gz"       # relative to --out-dir
+        }
+      ]
+    }
+
+Without ``--manifest`` the built-in default manifest is used (one
+chung-lu and one erdos-renyi workload whose size honours the
+``REPRO_SCALE_EDGES`` environment variable, default 1,000,000 edges).
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_scale_workloads.py --out-dir /tmp/scale
+    PYTHONPATH=src python scripts/gen_scale_workloads.py \
+        --manifest my_manifest.json --out-dir /tmp/scale --only cl-1m
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.graph import (
+    chung_lu_edge_chunks,
+    erdos_renyi_edge_chunks,
+    write_edge_chunks,
+)
+
+DEFAULT_EDGES = int(os.environ.get("REPRO_SCALE_EDGES", "1000000"))
+
+
+def default_manifest() -> dict:
+    """The two workloads the scale harness pins by default."""
+    edges = DEFAULT_EDGES
+    # Vertex counts scale with the edge target so the graphs stay sparse
+    # (mean degree ~2 per side) and rejection sampling converges fast.
+    side = max(64, edges // 2)
+    return {
+        "workloads": [
+            {
+                "name": "cl-scale",
+                "model": "chung-lu",
+                "upper": side,
+                "lower": side,
+                "edges": edges,
+                "seed": 7,
+                "exponent": 2.5,
+                "output": "cl-scale.txt.gz",
+            },
+            {
+                "name": "er-scale",
+                "model": "erdos-renyi",
+                "upper": side,
+                "lower": side,
+                "edges": edges,
+                "seed": 11,
+                "output": "er-scale.txt.gz",
+            },
+        ]
+    }
+
+
+def _chunks_for(spec: dict, chunk_edges: int):
+    model = spec["model"]
+    upper = int(spec["upper"])
+    lower = int(spec["lower"])
+    edges = int(spec["edges"])
+    seed = int(spec.get("seed", 7))
+    if model == "chung-lu":
+        exponent = float(spec.get("exponent", 2.5))
+        return chung_lu_edge_chunks(
+            upper,
+            lower,
+            edges,
+            exponent_upper=exponent,
+            exponent_lower=exponent,
+            seed=seed,
+            chunk_edges=chunk_edges,
+        )
+    if model == "erdos-renyi":
+        return erdos_renyi_edge_chunks(
+            upper, lower, edges, seed=seed, chunk_edges=chunk_edges
+        )
+    raise ValueError(f"unknown model {model!r} (chung-lu | erdos-renyi)")
+
+
+def generate(manifest: dict, out_dir: Path, *, only=None, chunk_edges=1 << 18):
+    """Write every selected workload; return the per-workload summaries."""
+    workloads = manifest.get("workloads", [])
+    if not workloads:
+        raise ValueError("manifest has no 'workloads' entries")
+    if only:
+        names = {w.get("name") for w in workloads}
+        missing = set(only) - names
+        if missing:
+            raise ValueError(f"unknown workload name(s): {sorted(missing)}")
+        workloads = [w for w in workloads if w.get("name") in only]
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    summaries = []
+    for spec in workloads:
+        path = out_dir / spec["output"]
+        header = (
+            f"bip unweighted ({spec['model']} |U|={spec['upper']} "
+            f"|L|={spec['lower']} m={spec['edges']} "
+            f"seed={spec.get('seed', 7)})"
+        )
+        start = time.perf_counter()
+        written = write_edge_chunks(
+            path, _chunks_for(spec, chunk_edges), header=header
+        )
+        elapsed = time.perf_counter() - start
+        summaries.append(
+            {
+                "name": spec.get("name", spec["output"]),
+                "model": spec["model"],
+                "num_upper": int(spec["upper"]),
+                "num_lower": int(spec["lower"]),
+                "num_edges": written,
+                "seed": int(spec.get("seed", 7)),
+                "path": str(path),
+                "bytes": path.stat().st_size,
+                "seconds": round(elapsed, 3),
+            }
+        )
+        print(
+            f"{summaries[-1]['name']}: {written} edges -> {path} "
+            f"({summaries[-1]['bytes']} bytes, {elapsed:.1f}s)"
+        )
+    return summaries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="JSON manifest (default: built-in scale manifest)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        required=True,
+        help="directory to write the edge lists into",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="generate only this workload (repeatable)",
+    )
+    parser.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1 << 18,
+        help="edges per generated chunk (default %(default)s)",
+    )
+    parser.add_argument(
+        "--summary-json",
+        type=Path,
+        default=None,
+        help="also write the generation summaries to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.manifest is not None:
+        manifest = json.loads(args.manifest.read_text())
+    else:
+        manifest = default_manifest()
+
+    try:
+        summaries = generate(
+            manifest,
+            args.out_dir,
+            only=args.only,
+            chunk_edges=args.chunk_edges,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.summary_json is not None:
+        args.summary_json.write_text(json.dumps(summaries, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@ Subcommands
 ``community``   connected k-bitruss community around a query vertex.
 ``stats``       Table II-style summary of a graph.
 ``generate``    materialize a bundled synthetic dataset to an edge-list file.
+``gen``         stream a synthetic *scale* workload (chung-lu / erdos-renyi)
+                to an edge-list file in numpy chunks — million-edge graphs
+                without ever holding the graph in memory.
 ``datasets``    list bundled datasets.
 ``index``       decompose once and save a serving artifact (``.npz``).
 ``query``       answer k-bitruss / community / max-k / path / histogram /
@@ -30,11 +33,21 @@ Examples
     repro-bitruss query github.npz k-bitruss -k 6 --output h6.txt
     repro-bitruss serve --dataset github --dataset marvel --port 8642
     repro-bitruss serve --artifact github.npz --mutable --workers 4
+    repro-bitruss gen chung-lu --upper 500000 --lower 500000 \
+        --edges 1000000 scale.txt.gz
+    repro-bitruss index scale.txt.gz --streaming --algorithm bu-csr \
+        --output scale_artifact
+    repro-bitruss query scale_artifact --mmap stats
 
 ``decompose`` and ``index`` accept ``--workers N`` (default 1): with more
 than one worker the shared-memory runtime (:mod:`repro.runtime`) shards
 the work across a persistent zero-copy process pool via the
 ``bit-bu-par`` algorithm.
+
+The million-edge path: every file-input command accepts ``--streaming``
+(chunked numpy ingestion, no Python list of pairs); ``index --output``
+without a ``.npz`` suffix writes the memory-mappable directory layout,
+which ``query``/``serve`` reopen with ``--mmap`` in O(1) resident memory.
 """
 
 from __future__ import annotations
@@ -48,7 +61,13 @@ from repro import datasets
 from repro.butterfly.counting import count_butterflies_total, count_per_edge
 from repro.core.api import ALGORITHMS, bitruss_decomposition
 from repro.graph.bipartite import BipartiteGraph
-from repro.graph.io import load_edge_list, save_edge_list, save_phi
+from repro.graph.io import (
+    load_edge_list,
+    load_edge_list_streaming,
+    save_edge_list,
+    save_phi,
+    write_edge_chunks,
+)
 from repro.utils.stats import UpdateCounter
 
 
@@ -56,9 +75,16 @@ def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
     if args.dataset is not None and args.path is not None:
         raise SystemExit("give either a file path or --dataset, not both")
     if args.dataset is not None:
+        if getattr(args, "streaming", False):
+            raise SystemExit(
+                "--streaming applies to edge-list files; bundled datasets "
+                "are generated in memory"
+            )
         return datasets.load_dataset(args.dataset)
     if args.path is None:
         raise SystemExit("a file path or --dataset is required")
+    if getattr(args, "streaming", False):
+        return load_edge_list_streaming(args.path, base=args.base)
     return load_edge_list(args.path, base=args.base)
 
 
@@ -74,6 +100,12 @@ def _add_input_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="id base of the input file (KONECT files use 1; default 0)",
+    )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="ingest the edge list in fixed-size numpy chunks (out-of-core "
+        "path: same graph, a fraction of the peak memory)",
     )
 
 
@@ -202,6 +234,52 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.graph.generators import (
+        chung_lu_edge_chunks,
+        erdos_renyi_edge_chunks,
+    )
+
+    if args.upper < 1 or args.lower < 1 or args.edges < 1:
+        raise SystemExit("--upper/--lower/--edges must be positive")
+    if args.chunk_edges < 1:
+        raise SystemExit("--chunk-edges must be positive")
+    if args.model == "chung-lu":
+        chunks = chung_lu_edge_chunks(
+            args.upper,
+            args.lower,
+            args.edges,
+            exponent_upper=args.exponent,
+            exponent_lower=args.exponent,
+            seed=args.seed,
+            chunk_edges=args.chunk_edges,
+        )
+    else:
+        chunks = erdos_renyi_edge_chunks(
+            args.upper,
+            args.lower,
+            args.edges,
+            seed=args.seed,
+            chunk_edges=args.chunk_edges,
+        )
+    try:
+        written = write_edge_chunks(
+            args.output,
+            chunks,
+            base=args.base,
+            header=f"bip unweighted ({args.model} |U|={args.upper} "
+            f"|L|={args.lower} m={args.edges} seed={args.seed})",
+        )
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"wrote {written} {args.model} edges "
+        f"(|U|={args.upper}, |L|={args.lower}, seed={args.seed}) "
+        f"to {args.output}"
+    )
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     from repro.service import build_artifact, save_artifact
 
@@ -225,7 +303,10 @@ def _load_engine(args: argparse.Namespace):
     from repro.service import ArtifactError, QueryEngine
 
     try:
-        return QueryEngine.load(args.artifact)
+        return QueryEngine.load(
+            args.artifact,
+            mmap_mode="r" if getattr(args, "mmap", False) else None,
+        )
     except ArtifactError as exc:
         raise SystemExit(str(exc))
 
@@ -372,7 +453,9 @@ def _build_serve_registry(args: argparse.Namespace):
         if name in sources:
             raise SystemExit(f"dataset {name!r} given twice")
         try:
-            sources[name] = load_artifact(path)
+            sources[name] = load_artifact(
+                path, mmap_mode="r" if args.mmap else None
+            )
         except ArtifactError as exc:
             raise SystemExit(str(exc))
     for name, artifact in sources.items():
@@ -560,6 +643,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_ls = sub.add_parser("datasets", help="list bundled datasets")
     p_ls.set_defaults(func=_cmd_datasets)
 
+    p_g = sub.add_parser(
+        "gen",
+        help="stream a synthetic scale workload to an edge-list file "
+        "(never materializes the graph)",
+    )
+    p_g.add_argument("model", choices=["chung-lu", "erdos-renyi"])
+    p_g.add_argument("output", help="edge-list file to write (text or .gz)")
+    p_g.add_argument("--upper", type=int, required=True, help="|U|")
+    p_g.add_argument("--lower", type=int, required=True, help="|L|")
+    p_g.add_argument("--edges", type=int, required=True, help="edge count m")
+    p_g.add_argument("--seed", type=int, default=7, help="RNG seed (default 7)")
+    p_g.add_argument(
+        "--exponent",
+        type=float,
+        default=2.5,
+        help="chung-lu power-law exponent for both layers (default 2.5)",
+    )
+    p_g.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1 << 18,
+        help="edges generated per chunk (default 262144)",
+    )
+    p_g.add_argument("--base", type=int, default=0, help="output id base")
+    p_g.set_defaults(func=_cmd_gen)
+
     p_idx = sub.add_parser(
         "index", help="decompose once and save a serving artifact"
     )
@@ -584,14 +693,25 @@ def build_parser() -> argparse.ArgumentParser:
     # an optional positional, and argparse cannot split two positionals
     # across intervening option flags.
     p_idx.add_argument(
-        "--output", required=True, help="artifact file to write (.npz)"
+        "--output",
+        required=True,
+        help="artifact to write: a .npz path gives one compressed archive; "
+        "any other path gives the mmappable directory layout",
     )
     p_idx.set_defaults(func=_cmd_index)
 
     p_q = sub.add_parser(
         "query", help="serve queries against a saved artifact"
     )
-    p_q.add_argument("artifact", help="artifact file written by `index`")
+    p_q.add_argument(
+        "artifact", help="artifact (.npz or directory) written by `index`"
+    )
+    p_q.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map a directory-layout artifact instead of reading "
+        "it eagerly (O(1) resident open)",
+    )
     qsub = p_q.add_subparsers(dest="query_op", required=True)
 
     q_kb = qsub.add_parser("k-bitruss", help="edges of the k-bitruss")
@@ -665,8 +785,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact",
         action="append",
         metavar="[NAME=]PATH",
-        help="saved .npz artifact to host (repeatable; name defaults to "
-        "the file stem)",
+        help="saved artifact (.npz or directory) to host (repeatable; "
+        "name defaults to the file stem)",
+    )
+    p_srv.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map directory-layout --artifact entries instead of "
+        "reading them eagerly",
     )
     p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
     p_srv.add_argument(

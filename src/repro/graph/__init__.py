@@ -4,11 +4,21 @@ from repro.graph.bipartite import BipartiteGraph, LabelMap
 from repro.graph.generators import (
     affiliation_bipartite,
     chung_lu_bipartite,
+    chung_lu_edge_chunks,
+    configuration_model_edge_chunks,
     erdos_renyi_bipartite,
+    erdos_renyi_edge_chunks,
     nested_communities,
     planted_bloom,
 )
-from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.io import (
+    edges_to_csr_chunked,
+    iter_edge_chunks,
+    load_edge_list,
+    load_edge_list_streaming,
+    save_edge_list,
+    write_edge_chunks,
+)
 from repro.graph.sampling import sample_vertices
 
 __all__ = [
@@ -16,10 +26,17 @@ __all__ = [
     "LabelMap",
     "affiliation_bipartite",
     "chung_lu_bipartite",
+    "chung_lu_edge_chunks",
+    "configuration_model_edge_chunks",
+    "edges_to_csr_chunked",
     "erdos_renyi_bipartite",
+    "erdos_renyi_edge_chunks",
+    "iter_edge_chunks",
     "load_edge_list",
+    "load_edge_list_streaming",
     "nested_communities",
     "planted_bloom",
     "sample_vertices",
     "save_edge_list",
+    "write_edge_chunks",
 ]

@@ -15,7 +15,22 @@ recomputes both and refuses files whose content no longer matches —
 truncation, bit rot, or a hand-edited φ array all raise
 :class:`ArtifactIntegrityError` instead of silently serving wrong answers.
 The rehydrated graph additionally runs the CSR/endpoint consistency checks
-of :meth:`~repro.graph.bipartite.BipartiteGraph.validate`.
+of :meth:`~repro.graph.bipartite.BipartiteGraph.validate`.  Hashes are
+streamed over bounded slices, so verifying a memory-mapped multi-GB array
+never materializes an in-RAM copy of it.
+
+Layouts
+-------
+Two on-disk layouts share one header and one loader:
+
+* ``.npz`` (the default for paths ending in ``.npz``) — a single
+  compressed archive; smallest on disk, but the zip container cannot be
+  memory-mapped, so reopening is O(size) in RAM.
+* **directory** (any other path) — ``header.json`` plus one raw ``.npy``
+  file per array.  ``load_artifact(path, mmap_mode="r")`` (or
+  :meth:`DecompositionArtifact.load`) then opens every array as a numpy
+  memmap: O(1) resident memory, pages faulted in on demand — the serving
+  posture for artifacts larger than RAM.
 
 Staleness
 ---------
@@ -30,6 +45,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -56,6 +72,24 @@ class StaleArtifactError(RuntimeError):
     """A query was attempted against an invalidated artifact."""
 
 
+#: Bytes hashed per slice when digesting an array (bounds resident memory
+#: when the array is memory-mapped).
+_HASH_SLICE_BYTES = 1 << 22
+
+
+def _update_digest(digest, array: np.ndarray) -> None:
+    """Feed an int64 array into a digest in bounded slices (mmap-safe).
+
+    Byte-identical to ``digest.update(array.tobytes())`` but never holds
+    more than one slice's copy in memory, so hashing a memory-mapped
+    multi-GB array stays O(1) resident.
+    """
+    flat = np.ascontiguousarray(array, dtype=np.int64).reshape(-1)
+    step = max(1, _HASH_SLICE_BYTES // flat.itemsize)
+    for start in range(0, flat.size, step):
+        digest.update(flat[start : start + step].tobytes())
+
+
 def graph_sha256(graph: BipartiteGraph) -> str:
     """Content hash of a graph: layer sizes plus endpoint arrays.
 
@@ -65,15 +99,15 @@ def graph_sha256(graph: BipartiteGraph) -> str:
     """
     digest = hashlib.sha256()
     digest.update(f"{graph.num_upper},{graph.num_lower};".encode())
-    digest.update(np.ascontiguousarray(graph.edge_upper, dtype=np.int64).tobytes())
-    digest.update(np.ascontiguousarray(graph.edge_lower, dtype=np.int64).tobytes())
+    _update_digest(digest, graph.edge_upper)
+    _update_digest(digest, graph.edge_lower)
     return digest.hexdigest()
 
 
 def _phi_sha256(phi: np.ndarray) -> str:
-    return hashlib.sha256(
-        np.ascontiguousarray(phi, dtype=np.int64).tobytes()
-    ).hexdigest()
+    digest = hashlib.sha256()
+    _update_digest(digest, phi)
+    return digest.hexdigest()
 
 
 def phi_by_endpoints(graph: BipartiteGraph, phi: np.ndarray) -> Dict:
@@ -120,12 +154,23 @@ class DecompositionArtifact:
     stale: bool = False
 
     def __post_init__(self) -> None:
-        # Private copy: freezing a caller-owned array in place would leak
-        # the artifact's immutability into the caller's objects.
-        self.phi = np.array(self.phi, dtype=np.int64, copy=True)
+        phi = self.phi
+        if (
+            isinstance(phi, np.ndarray)
+            and phi.dtype == np.int64
+            and not phi.flags.writeable
+        ):
+            # Already immutable (e.g. a read-only memmap): share it — a
+            # copy would defeat the O(1)-resident mmap load path.
+            self.phi = phi
+        else:
+            # Private copy: freezing a caller-owned writable array in place
+            # would leak the artifact's immutability into the caller's
+            # objects.
+            self.phi = np.array(phi, dtype=np.int64, copy=True)
+            self.phi.flags.writeable = False
         if len(self.phi) != self.graph.num_edges:
             raise ArtifactError("phi must have one entry per edge")
-        self.phi.flags.writeable = False
         if not self.graph_hash:
             self.graph_hash = graph_sha256(self.graph)
 
@@ -190,9 +235,25 @@ class DecompositionArtifact:
         self.meta["patches"] = int(self.meta.get("patches", 0) or 0) + 1
         self.stale = False
 
-    def save(self, path) -> None:
+    def save(self, path, *, layout: str = "auto") -> None:
         """Write the artifact to ``path`` (see :func:`save_artifact`)."""
-        save_artifact(self, path)
+        save_artifact(self, path, layout=layout)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        mmap_mode: Optional[str] = None,
+        check: bool = True,
+    ) -> "DecompositionArtifact":
+        """Open a saved artifact (see :func:`load_artifact`).
+
+        ``mmap_mode="r"`` memory-maps every array of a directory-layout
+        artifact: the open cost is O(1) resident memory regardless of
+        artifact size, with pages faulted in as queries touch them.
+        """
+        return load_artifact(path, mmap_mode=mmap_mode, check=check)
 
     def phi_by_endpoints(self) -> Dict:
         """This artifact's φ keyed by endpoints (see :func:`phi_by_endpoints`)."""
@@ -263,17 +324,9 @@ def build_artifact(
     return artifact
 
 
-def save_artifact(artifact: DecompositionArtifact, path) -> None:
-    """Persist an artifact as one compressed ``.npz`` archive.
-
-    The archive stores the endpoint arrays, both CSR blocks, φ, and a JSON
-    header with the format tag, version, algorithm, both content hashes and
-    the free-form ``meta`` dict.
-    """
+def _build_header(artifact: DecompositionArtifact) -> Dict[str, object]:
     graph = artifact.graph
-    up_indptr, up_nbrs, up_eids = graph.csr_upper()
-    lo_indptr, lo_nbrs, lo_eids = graph.csr_lower()
-    header = {
+    return {
         "format": ARTIFACT_FORMAT,
         "version": ARTIFACT_VERSION,
         "algorithm": artifact.algorithm,
@@ -284,22 +337,66 @@ def save_artifact(artifact: DecompositionArtifact, path) -> None:
         "phi_hash": _phi_sha256(artifact.phi),
         "meta": artifact.meta,
     }
-    with open(path, "wb") as handle:
-        np.savez_compressed(
-            handle,
-            header=np.frombuffer(
-                json.dumps(header).encode("utf-8"), dtype=np.uint8
-            ),
-            edge_upper=graph.edge_upper,
-            edge_lower=graph.edge_lower,
-            up_indptr=up_indptr,
-            up_indices=up_nbrs,
-            up_edge_ids=up_eids,
-            lo_indptr=lo_indptr,
-            lo_indices=lo_nbrs,
-            lo_edge_ids=lo_eids,
-            phi=artifact.phi,
-        )
+
+
+def _array_map(artifact: DecompositionArtifact) -> Dict[str, np.ndarray]:
+    graph = artifact.graph
+    up_indptr, up_nbrs, up_eids = graph.csr_upper()
+    lo_indptr, lo_nbrs, lo_eids = graph.csr_lower()
+    return {
+        "edge_upper": graph.edge_upper,
+        "edge_lower": graph.edge_lower,
+        "up_indptr": up_indptr,
+        "up_indices": up_nbrs,
+        "up_edge_ids": up_eids,
+        "lo_indptr": lo_indptr,
+        "lo_indices": lo_nbrs,
+        "lo_edge_ids": lo_eids,
+        "phi": artifact.phi,
+    }
+
+
+def save_artifact(
+    artifact: DecompositionArtifact, path, *, layout: str = "auto"
+) -> None:
+    """Persist an artifact in one of two layouts.
+
+    Parameters
+    ----------
+    artifact :
+        The artifact to write.
+    path :
+        Target path.
+    layout : str, optional
+        ``"npz"`` — one compressed archive (endpoint arrays, both CSR
+        blocks, φ, and a JSON header with the format tag, version,
+        algorithm, both content hashes and the free-form ``meta`` dict);
+        ``"dir"`` — a directory of raw ``.npy`` files plus ``header.json``,
+        reopenable with ``mmap_mode="r"`` in O(1) resident memory;
+        ``"auto"`` (default) — ``"npz"`` when ``path`` ends in ``.npz``,
+        ``"dir"`` otherwise.
+    """
+    if layout == "auto":
+        layout = "npz" if str(path).endswith(".npz") else "dir"
+    if layout not in ("npz", "dir"):
+        raise ValueError(f"unknown artifact layout {layout!r}")
+    header = _build_header(artifact)
+    arrays = _array_map(artifact)
+    if layout == "npz":
+        with open(path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                header=np.frombuffer(
+                    json.dumps(header).encode("utf-8"), dtype=np.uint8
+                ),
+                **arrays,
+            )
+        return
+    os.makedirs(path, exist_ok=True)
+    with open(os.path.join(path, "header.json"), "w", encoding="utf-8") as fh:
+        json.dump(header, fh, indent=2)
+    for key, array in arrays.items():
+        np.save(os.path.join(path, f"{key}.npy"), array)
 
 
 _REQUIRED_KEYS = (
@@ -315,18 +412,72 @@ _REQUIRED_KEYS = (
     "phi",
 )
 
+_ARRAY_KEYS = _REQUIRED_KEYS[1:]
 
-def load_artifact(path, *, check: bool = True) -> DecompositionArtifact:
+
+def _read_npz(path) -> Dict[str, np.ndarray]:
+    try:
+        with np.load(path) as archive:
+            missing = [k for k in _REQUIRED_KEYS if k not in archive.files]
+            if missing:
+                raise ArtifactError(
+                    f"{path}: not a decomposition artifact (missing {missing})"
+                )
+            return {k: archive[k] for k in _REQUIRED_KEYS}
+    except (OSError, ValueError) as exc:
+        if isinstance(exc, ArtifactError):
+            raise
+        raise ArtifactError(f"{path}: cannot read artifact ({exc})") from exc
+
+
+def _read_dir(path, mmap_mode: Optional[str]) -> Dict[str, np.ndarray]:
+    header_path = os.path.join(path, "header.json")
+    if not os.path.exists(header_path):
+        raise ArtifactError(
+            f"{path}: not a decomposition artifact (missing header.json)"
+        )
+    try:
+        with open(header_path, "r", encoding="utf-8") as fh:
+            header_bytes = fh.read().encode("utf-8")
+    except OSError as exc:
+        raise ArtifactError(f"{path}: cannot read artifact ({exc})") from exc
+    data: Dict[str, np.ndarray] = {
+        "header": np.frombuffer(header_bytes, dtype=np.uint8)
+    }
+    for key in _ARRAY_KEYS:
+        member = os.path.join(path, f"{key}.npy")
+        if not os.path.exists(member):
+            raise ArtifactError(
+                f"{path}: not a decomposition artifact (missing [{key!r}])"
+            )
+        try:
+            data[key] = np.load(member, mmap_mode=mmap_mode)
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(
+                f"{path}: cannot read artifact ({exc})"
+            ) from exc
+    return data
+
+
+def load_artifact(
+    path, *, check: bool = True, mmap_mode: Optional[str] = None
+) -> DecompositionArtifact:
     """Load an artifact written by :func:`save_artifact`, verifying it.
 
     Parameters
     ----------
     path :
-        File to read.
+        An ``.npz`` file or a directory-layout artifact.
     check : bool, optional
         When true (default) recompute both content hashes and run the
         graph's structural validation; pass ``False`` only for trusted
-        files on hot restart paths.
+        files on hot restart paths.  Hashing streams over bounded slices,
+        so checking a memory-mapped artifact never copies whole arrays.
+    mmap_mode : str, optional
+        ``"r"`` memory-maps every array of a directory-layout artifact —
+        an O(1)-resident open regardless of artifact size.  Compressed
+        ``.npz`` archives cannot be mapped; asking raises
+        :class:`ArtifactError` pointing at the directory layout.
 
     Raises
     ------
@@ -335,18 +486,16 @@ def load_artifact(path, *, check: bool = True) -> DecompositionArtifact:
     ArtifactIntegrityError
         Stored hashes disagree with the file's content.
     """
-    try:
-        with np.load(path) as archive:
-            missing = [k for k in _REQUIRED_KEYS if k not in archive.files]
-            if missing:
-                raise ArtifactError(
-                    f"{path}: not a decomposition artifact (missing {missing})"
-                )
-            data = {k: archive[k] for k in _REQUIRED_KEYS}
-    except (OSError, ValueError) as exc:
-        if isinstance(exc, ArtifactError):
-            raise
-        raise ArtifactError(f"{path}: cannot read artifact ({exc})") from exc
+    if os.path.isdir(path):
+        data = _read_dir(path, mmap_mode)
+    elif mmap_mode is not None:
+        raise ArtifactError(
+            f"{path}: .npz archives cannot be memory-mapped; save the "
+            "artifact in the directory layout (save_artifact(..., "
+            "layout='dir')) to use mmap_mode"
+        )
+    else:
+        data = _read_npz(path)
 
     try:
         header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))

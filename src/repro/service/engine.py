@@ -113,9 +113,23 @@ class QueryEngine:
         return cls(build_artifact(graph, algorithm=algorithm), **kwargs)
 
     @classmethod
-    def load(cls, path, **kwargs) -> "QueryEngine":
-        """Open a saved artifact (integrity-checked) and serve it."""
-        return cls(load_artifact(path), **kwargs)
+    def load(
+        cls,
+        path,
+        *,
+        mmap_mode=None,
+        check: bool = True,
+        **kwargs,
+    ) -> "QueryEngine":
+        """Open a saved artifact (integrity-checked) and serve it.
+
+        ``mmap_mode="r"`` memory-maps a directory-layout artifact so the
+        engine serves straight from page cache — O(1) resident open, pages
+        faulted in as queries touch them.
+        """
+        return cls(
+            load_artifact(path, mmap_mode=mmap_mode, check=check), **kwargs
+        )
 
     # ---------------------------------------------------------- lifecycle
 

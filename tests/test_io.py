@@ -8,6 +8,7 @@ from repro.graph.bipartite import BipartiteGraph
 from repro.graph.io import (
     iter_edge_lines,
     load_edge_list,
+    load_edge_list_streaming,
     load_phi,
     save_edge_list,
     save_phi,
@@ -70,6 +71,42 @@ def test_non_integer(tmp_path):
     path.write_text("a b\n")
     with pytest.raises(ValueError, match="non-integer"):
         load_edge_list(path)
+
+
+@pytest.mark.parametrize("loader", (load_edge_list, load_edge_list_streaming))
+def test_negative_id_rejected_with_line_number(tmp_path, loader):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n1 1\n-2 3\n")
+    with pytest.raises(ValueError, match="negative vertex id") as exc:
+        loader(path)
+    # The message pinpoints the offending line.
+    assert f"{path}:3:" in str(exc.value)
+
+
+@pytest.mark.parametrize("loader", (load_edge_list, load_edge_list_streaming))
+def test_negative_lower_id_rejected(tmp_path, loader):
+    path = tmp_path / "g.txt"
+    path.write_text("0 -1\n")
+    with pytest.raises(ValueError, match=r"g\.txt:1:.*negative vertex id"):
+        loader(path)
+
+
+@pytest.mark.parametrize("loader", (load_edge_list, load_edge_list_streaming))
+def test_id_overflowing_int64_rejected(tmp_path, loader):
+    path = tmp_path / "g.txt"
+    path.write_text(f"0 0\n{2**63} 1\n")
+    with pytest.raises(ValueError, match=r"g\.txt:2:.*too large for int64"):
+        loader(path)
+
+
+def test_streaming_round_trip_matches_dict_loader(tmp_path, sample_graph):
+    path = tmp_path / "g.txt.gz"
+    save_edge_list(sample_graph, path)
+    dict_loaded = load_edge_list(path)
+    for chunk_edges in (1, 3, 1 << 18):
+        streamed = load_edge_list_streaming(path, chunk_edges=chunk_edges)
+        assert sorted(streamed.edges()) == sorted(dict_loaded.edges())
+        streamed.validate()
 
 
 def test_wrong_base_detected(tmp_path):

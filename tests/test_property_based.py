@@ -2,8 +2,11 @@
 
 import numpy as np
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.butterfly.counting import count_per_edge
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.io import edges_to_csr_chunked
 from repro.core import (
     bit_bs,
     bit_bu,
@@ -72,3 +75,80 @@ def test_decomposition_is_permutation_invariant_of_algorithm_state(graph):
     first = bit_bu_plus_plus(graph).phi
     second = bit_bu_plus_plus(graph).phi
     assert_phi_equal(first, second, "repeatability")
+
+
+@st.composite
+def messy_edge_lists(draw, max_upper: int = 12, max_lower: int = 9):
+    """Unsorted edge lists **with duplicates** plus their layer sizes."""
+    n_u = draw(st.integers(min_value=1, max_value=max_upper))
+    n_l = draw(st.integers(min_value=1, max_value=max_lower))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_u - 1),
+                st.integers(min_value=0, max_value=n_l - 1),
+            ),
+            min_size=0,
+            max_size=70,
+        )
+    )
+    return n_u, n_l, edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(messy_edge_lists())
+def test_chunked_csr_matches_constructor(params):
+    """edges_to_csr_chunked == the dict-based constructor, bitwise.
+
+    Duplicates and arbitrary input order included; every chunk size must
+    yield the same arrays — same dedup survivors, same stable CSR order.
+    """
+    n_u, n_l, edges = params
+    expected = BipartiteGraph(n_u, n_l, edges, dedup=True)
+    arr = (
+        np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    for chunk_edges in (1, 7, 4096):
+        chunks = [
+            arr[i : i + chunk_edges] for i in range(0, len(arr), chunk_edges)
+        ]
+        streamed = edges_to_csr_chunked(
+            iter(chunks), num_upper=n_u, num_lower=n_l
+        )
+        context = f"chunk_edges={chunk_edges}"
+        assert streamed.num_upper == expected.num_upper, context
+        assert streamed.num_lower == expected.num_lower, context
+        assert np.array_equal(
+            streamed.edge_upper, expected.edge_upper
+        ), context
+        assert np.array_equal(
+            streamed.edge_lower, expected.edge_lower
+        ), context
+        for got, want in zip(
+            streamed.csr_upper() + streamed.csr_lower(),
+            expected.csr_upper() + expected.csr_lower(),
+        ):
+            assert got.dtype == want.dtype, context
+            assert np.array_equal(got, want), context
+
+
+@settings(max_examples=40, deadline=None)
+@given(messy_edge_lists())
+def test_chunked_csr_infers_layer_sizes(params):
+    """Layer-size inference (max id + 1) matches explicit sizes."""
+    n_u, n_l, edges = params
+    if not edges:
+        return
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    inferred = edges_to_csr_chunked(iter([arr]))
+    assert inferred.num_upper == int(arr[:, 0].max()) + 1
+    assert inferred.num_lower == int(arr[:, 1].max()) + 1
+    explicit = edges_to_csr_chunked(
+        iter([arr]),
+        num_upper=inferred.num_upper,
+        num_lower=inferred.num_lower,
+    )
+    assert np.array_equal(inferred.edge_upper, explicit.edge_upper)
+    assert np.array_equal(inferred.edge_lower, explicit.edge_lower)
