@@ -32,6 +32,7 @@ from repro.core import (
 )
 from repro.datasets import dataset_spec, load_dataset
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import phases as obs_phases
 from repro.utils.stats import UpdateCounter
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -131,6 +132,29 @@ def run_algorithm(
     if graph is None:
         _run_cache[key] = record
     return record
+
+
+def profiled(fn):
+    """Run ``fn`` with phase profiling on; return ``(result, profile block)``.
+
+    The block is the same ``{"wall_seconds": ..., "tree": ...}`` shape the
+    CLI's ``decompose --profile --json`` emits, so ``repro-bitruss stats
+    --profile`` can pretty-print bench JSONs too.  Profiler state is
+    restored afterwards so timed (unprofiled) measurements in the same
+    process stay on the no-op path.
+    """
+    was_enabled = obs_phases.enabled()
+    obs_phases.enable(True)
+    obs_phases.reset()
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        wall = time.perf_counter() - start
+        tree = obs_phases.tree()
+        obs_phases.reset()
+        obs_phases.enable(was_enabled)
+    return result, {"wall_seconds": wall, "tree": tree}
 
 
 def peak_rss_bytes() -> int:

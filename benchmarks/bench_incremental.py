@@ -30,7 +30,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._shared import RESULTS_DIR, peak_rss_bytes
+from benchmarks._shared import RESULTS_DIR, peak_rss_bytes, profiled
 from repro.core.api import bitruss_decomposition
 from repro.datasets import load_dataset
 from repro.maintenance import DynamicBipartiteGraph
@@ -53,6 +53,15 @@ def _publish(tracker):
 
 
 def bench_dataset(name):
+    # The whole run is profiled: the resulting tree separates the rebuild
+    # baseline's phases from the incremental path's "region search" /
+    # "region peel" totals across every toggle.
+    record, profile = profiled(lambda: _bench_dataset(name))
+    record["profile"] = profile
+    return record
+
+
+def _bench_dataset(name):
     graph = load_dataset(name)
     dyn = DynamicBipartiteGraph(
         graph.num_upper, graph.num_lower, list(graph.edges())

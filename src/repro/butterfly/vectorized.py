@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import phases as obs_phases
 
 
 def gather_two_hop(
@@ -139,9 +140,10 @@ def count_per_edge_vectorized(
     indptr, neighbors, edge_ids, row_prios = graph.csr_gid_sorted_with_prios(
         priorities
     )
-    return count_range_on_arrays(
-        indptr, neighbors, edge_ids, row_prios, prio, graph.num_edges, 0, n
-    )
+    with obs_phases.phase("butterfly counting"):
+        return count_range_on_arrays(
+            indptr, neighbors, edge_ids, row_prios, prio, graph.num_edges, 0, n
+        )
 
 
 def count_total_vectorized(

@@ -55,6 +55,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro import datasets
@@ -68,7 +69,17 @@ from repro.graph.io import (
     save_phi,
     write_edge_chunks,
 )
+from repro.obs import log as obs_log
+from repro.obs import phases as obs_phases
 from repro.utils.stats import UpdateCounter
+
+#: Human narration goes through this stdout logger so ``--quiet`` can
+#: silence everything except machine-readable payloads (which ``print``).
+_LOG = obs_log.get_logger("cli")
+
+
+def _say(message: str) -> None:
+    _LOG.info(message)
 
 
 def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
@@ -142,7 +153,11 @@ def _resolve_algorithm(args: argparse.Namespace, serial_default: str) -> str:
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
+    if args.profile:
+        obs_phases.reset()
+    wall_start = time.perf_counter()
+    with obs_phases.phase("load graph"):
+        graph = _load_graph(args)
     counter = UpdateCounter()
     result = bitruss_decomposition(
         graph,
@@ -151,15 +166,23 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         workers=args.workers,
         counter=counter,
     )
-    print(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
-    print(result.stats.summary())
-    print(f"max bitruss number: {result.max_k}")
-    hierarchy = result.hierarchy()
+    with obs_phases.phase("hierarchy"):
+        hierarchy = result.hierarchy()
+    wall_seconds = time.perf_counter() - wall_start
+    _say(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
+    _say(result.stats.summary())
+    _say(f"max bitruss number: {result.max_k}")
     shown = sorted(hierarchy)[: args.levels]
     for k in shown:
-        print(f"  |E(H_{k})| = {hierarchy[k]}")
+        _say(f"  |E(H_{k})| = {hierarchy[k]}")
     if len(hierarchy) > args.levels:
-        print(f"  ... ({len(hierarchy) - args.levels} more levels)")
+        _say(f"  ... ({len(hierarchy) - args.levels} more levels)")
+    profile_block = None
+    if args.profile:
+        tree = obs_phases.tree()
+        profile_block = {"wall_seconds": wall_seconds, "tree": tree}
+        _say("phase profile:")
+        _say(obs_phases.render_tree(tree))
     if args.json:
         payload = {
             "algorithm": result.stats.algorithm,
@@ -168,10 +191,12 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             "updates": result.stats.updates,
             "timings": result.stats.timings,
         }
+        if profile_block is not None:
+            payload["profile"] = profile_block
         print(json.dumps(payload, indent=2))
     if args.output:
         save_phi(result.phi, args.output)
-        print(f"wrote bitruss numbers to {args.output}")
+        _say(f"wrote bitruss numbers to {args.output}")
     return 0
 
 
@@ -209,7 +234,94 @@ def _cmd_community(args: argparse.Namespace) -> int:
     return 0
 
 
+def _extract_profile_tree(payload: object) -> Optional[dict]:
+    """Find a phase tree in a saved JSON document.
+
+    Accepts a bare tree (``{"name": ..., "children": [...]}``), a profile
+    block (``{"wall_seconds": ..., "tree": ...}``) or a whole ``decompose
+    --json`` payload containing a ``"profile"`` entry.
+    """
+    if not isinstance(payload, dict):
+        return None
+    if "children" in payload and "name" in payload:
+        return payload
+    for key in ("tree", "profile"):
+        found = _extract_profile_tree(payload.get(key))
+        if found is not None:
+            return found
+    return None
+
+
+def _print_profile_block(payload: object) -> bool:
+    """Render a contained phase tree (and wall time); False when absent."""
+    tree = _extract_profile_tree(payload)
+    if tree is None:
+        return False
+    block = payload
+    if isinstance(payload, dict) and isinstance(payload.get("profile"), dict):
+        block = payload["profile"]
+    if isinstance(block, dict) and "wall_seconds" in block:
+        wall = float(block["wall_seconds"])
+        leaves = obs_phases.leaf_seconds(tree)
+        print(f"wall time: {wall:.4f}s")
+        if wall > 0:
+            print(
+                f"leaf coverage: {leaves:.4f}s ({100.0 * leaves / wall:.1f}% of wall)"
+            )
+    print(obs_phases.render_tree(tree))
+    return True
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.profile_path:
+        with open(args.profile_path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{args.profile_path}: invalid JSON: {exc}")
+        if not _print_profile_block(payload):
+            raise SystemExit(
+                f"{args.profile_path}: no phase tree found (expected a "
+                "`decompose --profile --json` payload or a profile block)"
+            )
+        return 0
+    if args.scrape:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.scrape
+        if "://" not in url:
+            url = f"http://{url}"
+        if not url.rstrip("/").endswith("/metrics"):
+            url = url.rstrip("/") + "/metrics"
+        try:
+            with urlopen(url) as response:
+                payload = json.load(response)
+        except (URLError, OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot scrape {url}: {exc}")
+        server = payload.get("server", {})
+        print(f"server: {url}")
+        print(f"  requests_total: {server.get('requests_total')}")
+        print(f"  errors_total:   {server.get('errors_total')}")
+        uptime = server.get("uptime_seconds")
+        if uptime is not None:
+            print(f"  uptime:         {uptime:.1f}s")
+        for name, entry in sorted(payload.get("datasets", {}).items()):
+            cache = entry.get("cache", {})
+            hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+            rate = hits / (hits + misses) if hits + misses else 0.0
+            print(
+                f"  {name}: v{entry.get('version')} served={entry.get('served')} "
+                f"cache_hit_rate={rate:.2f}"
+            )
+        coal = payload.get("coalescer")
+        if coal:
+            flushes = coal.get("flushes", 0)
+            fold = coal.get("submitted", 0) / flushes if flushes else 0.0
+            print(f"  coalescer: fold_ratio={fold:.2f} ({coal})")
+        if not _print_profile_block(payload):
+            print("  (no profile block; start the server with --profile)")
+        return 0
     graph = _load_graph(args)
     support = count_per_edge(graph)
     butterflies = count_butterflies_total(graph)
@@ -283,19 +395,29 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     from repro.service import build_artifact, save_artifact
 
-    graph = _load_graph(args)
+    if args.profile:
+        obs_phases.reset()
+    wall_start = time.perf_counter()
+    with obs_phases.phase("load graph"):
+        graph = _load_graph(args)
     artifact = build_artifact(
         graph,
         algorithm=_resolve_algorithm(args, "bit-bu++"),
         tau=args.tau,
         workers=args.workers,
     )
-    save_artifact(artifact, args.output)
-    print(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
-    print(f"algorithm: {artifact.algorithm}")
-    print(f"max bitruss number: {artifact.max_k}")
-    print(f"graph hash: {artifact.graph_hash[:16]}…")
-    print(f"wrote artifact to {args.output}")
+    with obs_phases.phase("save artifact"):
+        save_artifact(artifact, args.output)
+    wall_seconds = time.perf_counter() - wall_start
+    _say(f"graph: |U|={graph.num_upper} |L|={graph.num_lower} m={graph.num_edges}")
+    _say(f"algorithm: {artifact.algorithm}")
+    _say(f"max bitruss number: {artifact.max_k}")
+    _say(f"graph hash: {artifact.graph_hash[:16]}…")
+    _say(f"wrote artifact to {args.output}")
+    if args.profile:
+        tree = obs_phases.tree()
+        _say(f"phase profile (wall {wall_seconds:.4f}s):")
+        _say(obs_phases.render_tree(tree))
     return 0
 
 
@@ -313,21 +435,31 @@ def _load_engine(args: argparse.Namespace):
 
 def _print_edges(edges, limit: int) -> None:
     for u, v in edges[:limit]:
-        print(f"  {u} {v}")
+        _say(f"  {u} {v}")
     if len(edges) > limit:
-        print(f"  ... ({len(edges) - limit} more)")
+        _say(f"  ... ({len(edges) - limit} more)")
+
+
+def _emit_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2, default=str))
 
 
 def _cmd_query_k_bitruss(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     eids = engine.k_bitruss(args.k)
-    print(f"{args.k}-bitruss: {len(eids)} edges")
+    edges = sorted(
+        [int(u), int(v)]
+        for u, v in (engine.graph.edge_endpoints(e) for e in eids)
+    )
+    if args.json:
+        _emit_json({"k": args.k, "count": len(eids), "edges": edges})
+    else:
+        _say(f"{args.k}-bitruss: {len(eids)} edges")
     if args.output:
         sub, _ = engine.graph.subgraph_from_edge_ids(eids)
         save_edge_list(sub, args.output, base=args.base)
-        print(f"wrote {args.k}-bitruss edge list to {args.output}")
-    else:
-        edges = [engine.graph.edge_endpoints(e) for e in eids]
+        _say(f"wrote {args.k}-bitruss edge list to {args.output}")
+    elif not args.json:
         _print_edges(edges, args.limit)
     return 0
 
@@ -340,7 +472,17 @@ def _cmd_query_community(args: argparse.Namespace) -> int:
     if args.lower is not None:
         kwargs["lower"] = args.lower
     community = engine.community(args.k, **kwargs)
-    print(
+    if args.json:
+        _emit_json(
+            {
+                "k": args.k,
+                "upper": sorted(int(u) for u in community.upper),
+                "lower": sorted(int(v) for v in community.lower),
+                "edges": sorted([int(u), int(v)] for u, v in community.edges),
+            }
+        )
+        return 0
+    _say(
         f"community at k={args.k}: {len(community.upper)} upper, "
         f"{len(community.lower)} lower, {len(community.edges)} edges"
     )
@@ -351,11 +493,15 @@ def _cmd_query_community(args: argparse.Namespace) -> int:
 def _cmd_query_max_k(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     if args.upper is not None:
+        side, vertex = "upper", args.upper
         k = engine.max_k(upper=args.upper)
-        print(f"max k of upper vertex {args.upper}: {k}")
     else:
+        side, vertex = "lower", args.lower
         k = engine.max_k(lower=args.lower)
-        print(f"max k of lower vertex {args.lower}: {k}")
+    if args.json:
+        _emit_json({"side": side, "vertex": vertex, "max_k": int(k)})
+    else:
+        _say(f"max k of {side} vertex {vertex}: {k}")
     return 0
 
 
@@ -366,31 +512,54 @@ def _cmd_query_path(args: argparse.Namespace) -> int:
         path = engine.hierarchy_path(edge=(u, v))
     except KeyError:
         raise SystemExit(f"edge ({u}, {v}) not in the indexed graph")
-    print(f"edge ({u}, {v}): phi = {engine.phi_of(u, v)}")
+    if args.json:
+        _emit_json(
+            {
+                "edge": [u, v],
+                "phi": int(engine.phi_of(u, v)),
+                "path": [
+                    {
+                        "level": int(level),
+                        "node": int(node),
+                        "edges": len(engine.hierarchy.component_edges(node)),
+                    }
+                    for level, node in path
+                ],
+            }
+        )
+        return 0
+    _say(f"edge ({u}, {v}): phi = {engine.phi_of(u, v)}")
     for level, node in path:
         size = len(engine.hierarchy.component_edges(node))
-        print(f"  level {level}: component node {node} ({size} edges)")
+        _say(f"  level {level}: component node {node} ({size} edges)")
     return 0
 
 
 def _cmd_query_histogram(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
-    for k, count in sorted(engine.phi_histogram().items()):
-        print(f"  phi={k}: {count} edges")
+    histogram = engine.phi_histogram()
+    if args.json:
+        _emit_json({str(k): int(c) for k, c in sorted(histogram.items())})
+        return 0
+    for k, count in sorted(histogram.items()):
+        _say(f"  phi={k}: {count} edges")
     return 0
 
 
 def _cmd_query_stats(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     info = engine.stats()
+    if args.json:
+        _emit_json({k: v for k, v in info.items()})
+        return 0
     levels = info.pop("level_sizes")
     for key, value in info.items():
-        print(f"{key}: {value}")
+        _say(f"{key}: {value}")
     shown = sorted(levels)[: args.levels]
     for k in shown:
-        print(f"  |E(H_{k})| = {levels[k]}")
+        _say(f"  |E(H_{k})| = {levels[k]}")
     if len(levels) > args.levels:
-        print(f"  ... ({len(levels) - args.levels} more levels)")
+        _say(f"  ... ({len(levels) - args.levels} more levels)")
     return 0
 
 
@@ -433,7 +602,7 @@ def _build_serve_registry(args: argparse.Namespace):
     for name in names:
         if name in sources:
             raise SystemExit(f"dataset {name!r} given twice")
-        print(f"building artifact for dataset {name!r} ...", flush=True)
+        _say(f"building artifact for dataset {name!r} ...")
         artifact = build_artifact(
             datasets.load_dataset(name),
             algorithm=_resolve_algorithm(args, "bit-bu-csr"),
@@ -494,6 +663,9 @@ async def _serve_async(args: argparse.Namespace, registry, updates) -> None:
         coalesce=not args.no_coalesce,
         window=args.window_ms / 1000.0,
         updates=updates,
+        slow_query_s=(
+            args.slow_query_ms / 1000.0 if args.slow_query_ms > 0 else None
+        ),
     )
     try:
         await server.start()
@@ -510,22 +682,21 @@ async def _serve_async(args: argparse.Namespace, registry, updates) -> None:
                 "higher port with --port"
             )
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
-    print(
+    _say(
         f"serving {len(registry)} dataset(s) on "
         f"http://{args.host}:{server.port}"
     )
     for entry in registry:
         mutable = updates is not None and updates.is_mutable(entry.name)
-        print(
+        _say(
             f"  /{entry.name}  m={entry.engine.graph.num_edges} "
             f"max_k={entry.artifact.max_k}"
             f"{'  (mutable)' if mutable else ''}"
         )
-    print(
+    _say(
         "endpoints: /datasets /healthz /metrics /{ds}/stats /{ds}/histogram "
         "/{ds}/community /{ds}/max_k /{ds}/hierarchy_path "
-        "POST /{ds}/batch POST /{ds}/edges",
-        flush=True,
+        "POST /{ds}/batch POST /{ds}/edges"
     )
     try:
         await server.serve_forever()
@@ -556,11 +727,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--rebuild-threshold must be within [0, 1]")
     if args.cache_size < 0:
         raise SystemExit("--cache-size must be non-negative")
+    if args.slow_query_ms < 0:
+        raise SystemExit("--slow-query-ms must be non-negative")
     registry, updates = _build_serve_registry(args)
     try:
         asyncio.run(_serve_async(args, registry, updates))
     except KeyboardInterrupt:
-        print("shutting down")
+        _say("shutting down")
     return 0
 
 
@@ -604,6 +777,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument(
         "--json", action="store_true", help="also print a JSON summary"
     )
+    p_dec.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase wall times and print the phase tree "
+        "(adds a `profile` block to --json output)",
+    )
+    p_dec.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress human narration; only machine-readable payloads "
+        "(--json, --output) are emitted",
+    )
     p_dec.set_defaults(func=_cmd_decompose)
 
     p_kb = sub.add_parser("k-bitruss", help="extract the k-bitruss subgraph")
@@ -631,6 +816,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--phi-max",
         action="store_true",
         help="also run a decomposition to report φ_max (slower)",
+    )
+    p_stats.add_argument(
+        "--profile",
+        dest="profile_path",
+        metavar="FILE",
+        help="pretty-print the phase tree saved in a `decompose --profile "
+        "--json` payload (or bench JSON) instead of analysing a graph",
+    )
+    p_stats.add_argument(
+        "--scrape",
+        metavar="URL",
+        help="summarize the /metrics endpoint of a running server "
+        "(host:port or full URL) instead of analysing a graph",
     )
     p_stats.set_defaults(func=_cmd_stats)
 
@@ -698,6 +896,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact to write: a .npz path gives one compressed archive; "
         "any other path gives the mmappable directory layout",
     )
+    p_idx.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase wall times and print the phase tree",
+    )
+    p_idx.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress human narration",
+    )
     p_idx.set_defaults(func=_cmd_index)
 
     p_q = sub.add_parser(
@@ -711,6 +919,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="memory-map a directory-layout artifact instead of reading "
         "it eagerly (O(1) resident open)",
+    )
+    p_q.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the answer as a JSON payload instead of narration",
+    )
+    p_q.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress human narration; only machine-readable payloads "
+        "(--json, --output) are emitted",
     )
     qsub = p_q.add_subparsers(dest="query_op", required=True)
 
@@ -854,6 +1073,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable request coalescing (one engine call per request)",
     )
+    p_srv.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable phase profiling; the phase tree appears in the "
+        "/metrics JSON under `profile`",
+    )
+    p_srv.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="log queries slower than this threshold to the "
+        "repro.server.slow logger (default 250; 0 disables)",
+    )
     p_srv.set_defaults(func=_cmd_serve)
 
     return parser
@@ -863,6 +1096,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_log.configure(quiet=bool(getattr(args, "quiet", False)))
+    # `stats --profile FILE` reuses the flag name with a string dest, so
+    # only a boolean True means "turn the profiler on for this run".
+    if getattr(args, "profile", False) is True:
+        obs_phases.enable(True)
     return args.func(args)
 
 

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.butterfly.vectorized import gather_two_hop
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import phases as obs_phases
 from repro.utils.bucket_queue import BucketQueue
 from repro.utils.stats import UpdateCounter
 
@@ -331,17 +332,19 @@ class CSRPeelingEngine:
         indptr, neighbors, edge_ids, row_prios = graph.csr_gid_sorted_with_prios(
             priorities
         )
-        shard = build_shard_on_arrays(
-            indptr,
-            neighbors,
-            edge_ids,
-            row_prios,
-            prio,
-            graph.num_edges,
-            0,
-            graph.num_vertices,
-        )
-        return cls.from_shards(graph.num_edges, [shard])
+        with obs_phases.phase("bloom discovery"):
+            shard = build_shard_on_arrays(
+                indptr,
+                neighbors,
+                edge_ids,
+                row_prios,
+                prio,
+                graph.num_edges,
+                0,
+                graph.num_vertices,
+            )
+        with obs_phases.phase("assemble"):
+            return cls.from_shards(graph.num_edges, [shard])
 
     @classmethod
     def from_shards(
@@ -462,9 +465,13 @@ class CSRPeelingEngine:
             batch, mbs = queue.pop_min_batch()
             phi[batch] = mbs
             if len(batch) <= scalar_cutoff:
-                self._peel_batch_scalar(batch, mbs, queue, counter)
+                with obs_phases.phase("scalar batches"):
+                    self._peel_batch_scalar(batch, mbs, queue, counter)
             else:
-                self._peel_batch_vectorized(batch, mbs, queue, counter, in_batch)
+                with obs_phases.phase("vectorized batches"):
+                    self._peel_batch_vectorized(
+                        batch, mbs, queue, counter, in_batch
+                    )
         return phi
 
     def _peel_batch_scalar(

@@ -35,6 +35,7 @@ from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import phases as obs_phases
 
 PathLike = Union[str, Path]
 
@@ -254,10 +255,11 @@ def load_edge_list_streaming(
     graph is bitwise identical to the in-memory loader's on any input;
     peak resident memory is a fraction of it on large files.
     """
-    return edges_to_csr_chunked(
-        iter_edge_chunks(path, base=base, chunk_edges=chunk_edges),
-        dedup=dedup,
-    )
+    with obs_phases.phase("streaming ingest"):
+        return edges_to_csr_chunked(
+            iter_edge_chunks(path, base=base, chunk_edges=chunk_edges),
+            dedup=dedup,
+        )
 
 
 def write_edge_chunks(

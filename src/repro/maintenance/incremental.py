@@ -51,6 +51,8 @@ import numpy as np
 
 from repro.core.peeling_engine import NO_EXPIRY, peel_region
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import phases as obs_phases
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dynamic imports us)
     from repro.maintenance.dynamic import DynamicBipartiteGraph
@@ -327,10 +329,16 @@ class IncrementalBitruss:
         report: RepairReport,
     ) -> RepairReport:
         """Run the region search + sub-peel and patch ``self._phi``."""
-        collected = self._collect_region(seeds, bound, mode, max_region_edges)
+        with obs_phases.phase("region search"):
+            collected = self._collect_region(seeds, bound, mode, max_region_edges)
         if collected is None:
             self.mark_dirty()
             report.fallback = True
+            obs_metrics.get_registry().counter(
+                "repro_incremental_budget_aborts_total",
+                "Region searches aborted by the max_region_edges budget "
+                "(each forces a full re-peel fallback).",
+            ).inc()
             return report
         region, flies = collected
         report.region_size = len(region)
@@ -370,7 +378,8 @@ class IncrementalBitruss:
             fly_edges.append(interior)
             fly_expiry.append(expiry)
 
-        new_phi = peel_region(len(region), fly_edges, fly_expiry)
+        with obs_phases.phase("region peel"):
+            new_phi = peel_region(len(region), fly_edges, fly_expiry)
         for edge, value in zip(region, new_phi.tolist()):
             old = self._phi[edge]
             if old != value:

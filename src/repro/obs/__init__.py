@@ -1,0 +1,51 @@
+"""Unified observability layer: metrics, tracing, phase profiling, logging.
+
+A dependency-free (stdlib + numpy-free) telemetry toolkit threaded through
+every pillar of the codebase:
+
+* :mod:`repro.obs.metrics` — process-local :class:`MetricsRegistry` with
+  ``Counter`` / ``Gauge`` / fixed-bucket ``Histogram`` primitives and a
+  Prometheus text-format encoder.  Cheap enough for hot paths: plain
+  attribute bumps, no locks on the single-threaded asyncio path, and
+  picklable snapshots so worker-process registries can be harvested back
+  through the :class:`~repro.runtime.pool.ParallelRuntime` pool and merged.
+* :mod:`repro.obs.trace` — lightweight trace ids and span contexts.  One
+  trace id per HTTP request, carried in a :mod:`contextvars` variable,
+  propagated through the query coalescer and across process boundaries
+  into pool workers (the id rides the pickled task tuples).
+* :mod:`repro.obs.phases` — the structured phase profiler.  Off by
+  default at near-zero cost (a module-level no-op context manager);
+  enabled via ``REPRO_PROFILE=1`` or the CLI ``--profile`` flags, it
+  records a nested phase tree (the paper's counting / index-build /
+  peeling decomposition made first-class) that surfaces in logs, bench
+  JSONs and ``repro-bitruss stats``.
+* :mod:`repro.obs.log` — stdlib-``logging`` helpers: a JSON formatter
+  with trace-id correlation and the shared ``repro.*`` logger tree the
+  server, update manager and CLI log through instead of bare prints.
+
+The existing per-run sinks in :mod:`repro.utils.stats` (``PhaseTimer``,
+``UpdateCounter``) are unchanged — ``PhaseTimer`` additionally feeds the
+phase profiler when profiling is enabled, so every already-instrumented
+algorithm phase appears in the tree for free.
+"""
+
+from repro.obs import log, metrics, phases, trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from repro.obs.phases import PhaseProfiler
+from repro.obs.trace import current_trace_id, new_trace_id, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "current_trace_id",
+    "get_registry",
+    "log",
+    "metrics",
+    "new_trace_id",
+    "phases",
+    "span",
+    "trace",
+]

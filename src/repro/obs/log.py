@@ -1,0 +1,165 @@
+"""Structured logging: the ``repro.*`` logger tree and a JSON formatter.
+
+Two output styles over stdlib :mod:`logging`:
+
+* **human** — bare messages (the CLI's stdout lines route through the
+  ``repro.cli`` logger so ``--quiet`` can raise its level and suppress
+  everything but the payload);
+* **json** — one JSON object per line with timestamp, level, logger,
+  message and — when a request trace is active — its ``trace_id``, plus
+  any extra fields passed via ``logger.info(..., extra={...})``.
+
+Handlers resolve ``sys.stdout``/``sys.stderr`` dynamically at emit time
+(not at configure time), so pytest's capture fixtures and daemon-style
+redirections both see the records.
+
+The slow-query log is just the ``repro.server.slow`` logger: the HTTP
+server emits one WARNING per request whose latency crosses the
+configured threshold (``serve --slow-query-ms``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional
+
+from repro.obs import trace
+
+ROOT = "repro"
+
+#: Attributes of a LogRecord that are bookkeeping, not user-given extras.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, with trace-id correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """A StreamHandler bound to the *name* stdout/stderr, not the object."""
+
+    def __init__(self, stream_name: str) -> None:
+        self._stream_name = stream_name
+        super().__init__()
+
+    @property
+    def stream(self):
+        return getattr(sys, self._stream_name)
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.__init__ assigns it
+        pass
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("server")`` etc.)."""
+    _ensure_configured()
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    _configured = True
+    root = logging.getLogger(ROOT)
+    if not root.handlers:
+        handler = _DynamicStreamHandler("stderr")
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+    root.propagate = False
+    cli = logging.getLogger(f"{ROOT}.cli")
+    if not cli.handlers:
+        handler = _DynamicStreamHandler("stdout")
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        cli.addHandler(handler)
+    cli.propagate = False
+
+
+def configure(
+    *,
+    level: int = logging.INFO,
+    json_output: bool = False,
+    quiet: bool = False,
+) -> None:
+    """(Re)configure the ``repro`` logger tree.
+
+    Parameters
+    ----------
+    level:
+        Level of the shared (stderr) tree.
+    json_output:
+        Emit :class:`JsonFormatter` lines instead of plain text on the
+        stderr tree (the CLI stdout tree always stays human-readable).
+    quiet:
+        Raise the ``repro.cli`` stdout logger to WARNING so only
+        payloads (and errors) reach stdout.
+    """
+    _ensure_configured()
+    root = logging.getLogger(ROOT)
+    root.setLevel(level)
+    formatter: logging.Formatter = (
+        JsonFormatter()
+        if json_output
+        else logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    for handler in root.handlers:
+        handler.setFormatter(formatter)
+    cli = logging.getLogger(f"{ROOT}.cli")
+    cli.setLevel(logging.WARNING if quiet else logging.NOTSET)
+
+
+def slow_query_logger() -> logging.Logger:
+    """The slow-query log (``repro.server.slow``)."""
+    return get_logger("server.slow")
+
+
+def log_slow_query(
+    *,
+    endpoint: str,
+    dataset: str,
+    seconds: float,
+    threshold: float,
+    status: int,
+    trace_id: Optional[str] = None,
+) -> None:
+    """Emit one slow-query WARNING with structured fields."""
+    slow_query_logger().warning(
+        "slow query: %s took %.1f ms (threshold %.1f ms)",
+        f"/{dataset}/{endpoint}" if dataset else f"/{endpoint}",
+        seconds * 1000.0,
+        threshold * 1000.0,
+        extra={
+            "endpoint": endpoint,
+            "dataset": dataset,
+            "seconds": round(seconds, 6),
+            "threshold_seconds": threshold,
+            "status": status,
+            **({"trace_id": trace_id} if trace_id else {}),
+        },
+    )

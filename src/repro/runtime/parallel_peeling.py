@@ -35,6 +35,7 @@ from repro.core.bit_bu_batch import _finish, bit_bu_csr
 from repro.core.peeling_engine import CSRPeelingEngine, _gather_rows
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import phases as obs_phases
 from repro.runtime.pool import ParallelRuntime, attached_views
 from repro.runtime.shm import ArenaManifest
 from repro.utils.bucket_queue import BucketQueue
@@ -197,10 +198,12 @@ def _peel_level_sharded(
         loss_values: List[np.ndarray] = []
 
         # Wave 1 — sharded detach scan over the batch.
-        tasks = [
-            (manifest, chunk) for chunk in _array_chunks(batch_arr, runtime.workers)
-        ]
-        parts = runtime.map_tasks(_task_detach_scan, tasks)
+        with obs_phases.phase("wave 1 dispatch"):
+            tasks = [
+                (manifest, chunk)
+                for chunk in _array_chunks(batch_arr, runtime.workers)
+            ]
+            parts = runtime.map_tasks(_task_detach_scan, tasks)
         links = np.concatenate([p[0] for p in parts])
         twin = np.concatenate([p[1] for p in parts])
         k_minus_1 = np.concatenate([p[2] for p in parts])
@@ -221,12 +224,16 @@ def _peel_level_sharded(
         engine.pair_alive[removed_pairs] = False  # shared write, pre-wave-2
 
         # Wave 2 — sharded surviving-pair scan over the touched blooms.
-        bounds = np.cumsum([0] + [len(c) for c in _array_chunks(touched, runtime.workers)])
-        tasks = [
-            (manifest, touched[lo:hi], c_removed[lo:hi])
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-        ]
-        for e1_s, e2_s, charge in runtime.map_tasks(_task_bloom_scan, tasks):
+        with obs_phases.phase("wave 2 dispatch"):
+            bounds = np.cumsum(
+                [0] + [len(c) for c in _array_chunks(touched, runtime.workers)]
+            )
+            tasks = [
+                (manifest, touched[lo:hi], c_removed[lo:hi])
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            scans = runtime.map_tasks(_task_bloom_scan, tasks)
+        for e1_s, e2_s, charge in scans:
             if len(charge):
                 loss_edges.append(e1_s)
                 loss_values.append(charge)
@@ -237,7 +244,8 @@ def _peel_level_sharded(
         # Apply — order-independent merge, floored at the level minimum;
         # the same helper the in-process batch step uses, so the two paths
         # cannot drift apart.
-        engine._apply_losses(loss_edges, loss_values, mbs, queue, counter)
+        with obs_phases.phase("apply losses"):
+            engine._apply_losses(loss_edges, loss_values, mbs, queue, counter)
     finally:
         in_batch[batch_arr] = False
 

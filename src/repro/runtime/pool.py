@@ -34,6 +34,9 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import phases as obs_phases
+from repro.obs import trace as obs_trace
 from repro.runtime.shm import ArenaManifest, ShmArena, is_available
 
 #: Keys of the graph arrays every runtime publishes.
@@ -88,6 +91,51 @@ def _worker_init() -> None:
     # Workers never unlink; closing on exit keeps /dev/shm refcounts tidy
     # even when the pool is recycled many times in one test run.
     atexit.register(_detach_all)
+    # A fork-started worker also inherits the parent's observability state
+    # as of fork time: counter values already reported by the parent and a
+    # phase stack whose open phases never exit here.  Both would be
+    # harvested back (double-counting metrics, grafting phases under
+    # phantom nodes), so every worker starts from zero.
+    obs_metrics.get_registry().reset()
+    obs_phases.reset_in_worker()
+
+
+def _run_task(fn: Callable, trace_id: Optional[str], profile: bool, *task):
+    """Worker-side task shim: trace propagation plus telemetry harvest.
+
+    The parent's trace id rides the pickled argument tuple; installing it
+    here means worker log records and metrics correlate with the HTTP
+    request (or CLI invocation) that dispatched the task.  Returns
+    ``(result, harvest)`` where ``harvest`` carries the worker registry's
+    delta since the last task and, when profiling, the worker's phase
+    tree — both picklable plain dicts the owner merges on receipt.
+    """
+    token = obs_trace.set_trace_id(trace_id) if trace_id is not None else None
+    if profile and not obs_phases.enabled():
+        obs_phases.enable(True)
+    registry = obs_metrics.get_registry()
+    try:
+        registry.counter(
+            "repro_runtime_tasks_total",
+            "Tasks executed by pool worker processes.",
+            ("fn",),
+        ).inc(labels=(getattr(fn, "__name__", "task"),))
+        if profile:
+            with obs_phases.phase("kernel"):
+                result = fn(*task)
+        else:
+            result = fn(*task)
+    finally:
+        if token is not None:
+            obs_trace.reset_trace_id(token)
+    harvest = {}
+    if len(registry):
+        harvest["metrics"] = registry.snapshot()
+        registry.reset()
+    phase_tree = obs_phases.snapshot()
+    if phase_tree is not None:
+        harvest["phases"] = phase_tree
+    return result, harvest or None
 
 
 # ----------------------------------------------------------------- owner side
@@ -252,9 +300,23 @@ class ParallelRuntime:
         pool = self._require_open()
         if not tasks:
             return []
-        futures = [pool.submit(fn, *task) for task in tasks]
+        trace_id = obs_trace.current_trace_id()
+        profile = obs_phases.enabled()
+        futures = [
+            pool.submit(_run_task, fn, trace_id, profile, *task)
+            for task in tasks
+        ]
         try:
-            return [future.result() for future in futures]
+            results: List[object] = []
+            for future in futures:
+                result, harvest = future.result()
+                if harvest:
+                    snap = harvest.get("metrics")
+                    if snap:
+                        obs_metrics.get_registry().merge_snapshot(snap)
+                    obs_phases.merge_tree(harvest.get("phases"))
+                results.append(result)
+            return results
         finally:
             for future in futures:
                 future.cancel()

@@ -30,6 +30,8 @@ import asyncio
 import json
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import trace as obs_trace
+
 Query = Dict[str, object]
 #: Runs a flattened query list against the live engine; returns
 #: (results, version) where ``version`` is the artifact version answered.
@@ -52,13 +54,23 @@ class SharedResult:
     ``values`` has one element per query in the submitted list.  The
     response body for merged identical requests is byte-identical, so
     :meth:`encoded` builds it once and every waiter reuses the bytes.
+
+    ``trace_ids`` records the trace id of every submission that rode the
+    flushed window (merged identical requests included), so a shared
+    computation remains attributable to each request it served.
     """
 
-    __slots__ = ("values", "version", "_body")
+    __slots__ = ("values", "version", "trace_ids", "_body")
 
-    def __init__(self, values: List[object], version: int) -> None:
+    def __init__(
+        self,
+        values: List[object],
+        version: int,
+        trace_ids: Tuple[str, ...] = (),
+    ) -> None:
         self.values = values
         self.version = version
+        self.trace_ids = trace_ids
         self._body: Optional[bytes] = None
 
     def encoded(self, encode: Callable[["SharedResult"], bytes]) -> bytes:
@@ -104,6 +116,7 @@ class QueryCoalescer:
         self.window = window
         self.max_batch = max_batch
         self._inflight: Dict[Tuple[str, str], asyncio.Future] = {}
+        self._trace_ids: Dict[Tuple[str, str], List[str]] = {}
         self._pending: Dict[str, _Pending] = {}
         self._submitted = 0
         self._merged = 0
@@ -128,6 +141,11 @@ class QueryCoalescer:
         self._submitted += 1
         queries = [dict(q) for q in queries]
         key = (dataset, canonical_key(queries))
+        trace_id = obs_trace.current_trace_id()
+        if trace_id is not None:
+            # Record every rider, mergers included, so the shared result
+            # stays attributable to each request it served.
+            self._trace_ids.setdefault(key, []).append(trace_id)
         shared = self._inflight.get(key)
         if shared is not None:
             self._merged += 1
@@ -194,10 +212,14 @@ class QueryCoalescer:
         except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
             for key, _, future in items:
                 self._inflight.pop((dataset, key), None)
+                self._trace_ids.pop((dataset, key), None)
                 if not future.done():
                     future.set_exception(exc)
             return
         for (key, _, future), (lo, hi) in zip(items, offsets):
             self._inflight.pop((dataset, key), None)
+            trace_ids = tuple(self._trace_ids.pop((dataset, key), ()))
             if not future.done():
-                future.set_result(SharedResult(results[lo:hi], version))
+                future.set_result(
+                    SharedResult(results[lo:hi], version, trace_ids)
+                )

@@ -34,18 +34,26 @@ from __future__ import annotations
 
 import asyncio
 import json
-import sys
-import traceback
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import phases as obs_phases
+from repro.obs import trace as obs_trace
 from repro.server.batching import QueryCoalescer, SharedResult
 from repro.server.registry import ArtifactRegistry, UnknownDatasetError
 from repro.server.updates import MutationError, UpdateManager
 from repro.service.artifacts import StaleArtifactError
+
+_LOG = obs_log.get_logger("server")
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Engine ops reachable over the wire, with their allowed parameter keys.
 _QUERY_OPS: Dict[str, frozenset] = {
@@ -157,6 +165,9 @@ class BitrussServer:
         datasets attached to it.
     executor_threads:
         Size of the engine-call thread pool.
+    slow_query_s:
+        When set, any non-scrape request slower than this many seconds is
+        logged as a WARNING on the ``repro.server.slow`` logger.
     """
 
     #: Cap on header lines per request (a client streaming endless small
@@ -175,12 +186,14 @@ class BitrussServer:
         updates: Optional[UpdateManager] = None,
         executor_threads: int = 4,
         max_body: int = 8 << 20,
+        slow_query_s: Optional[float] = None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
         self.updates = updates
         self.max_body = max_body
+        self.slow_query_s = slow_query_s
         self.coalescer = (
             QueryCoalescer(window=window, max_batch=max_batch)
             if coalesce
@@ -190,10 +203,32 @@ class BitrussServer:
             max_workers=executor_threads, thread_name_prefix="repro-serve"
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = time.time()
         self._requests_total = 0
         self._errors_total = 0
         self._active = 0
         self._by_endpoint: Dict[str, int] = {}
+        # The server owns its HTTP series registry (separate from the
+        # process-global one library code writes to) so concurrent server
+        # instances in one process never cross-pollute each other's
+        # request counts; a scrape merges both views.
+        self._metrics = obs_metrics.MetricsRegistry()
+        self._m_requests = self._metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint and dataset.",
+            ("endpoint", "dataset"),
+        )
+        self._m_errors = self._metrics.counter(
+            "repro_http_errors_total",
+            "HTTP requests answered with a 4xx/5xx status, by endpoint.",
+            ("endpoint",),
+        )
+        self._m_latency = self._metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency in seconds, by endpoint "
+            "(scrapes of /metrics are excluded).",
+            ("endpoint",),
+        )
 
     # ---------------------------------------------------------- lifecycle
 
@@ -250,8 +285,17 @@ class BitrussServer:
                     break
                 method, target, headers, body = request
                 keep = headers.get("connection", "keep-alive").lower() != "close"
-                status, payload = await self._serve_one(method, target, body)
-                self._write_response(writer, status, payload, keep)
+                status, payload, ctype, trace_id = await self._serve_one(
+                    method, target, headers, body
+                )
+                self._write_response(
+                    writer,
+                    status,
+                    payload,
+                    keep,
+                    content_type=ctype,
+                    trace_id=trace_id,
+                )
                 await writer.drain()
                 if not keep:
                     break
@@ -351,29 +395,67 @@ class BitrussServer:
         status: int,
         body: bytes,
         keep: bool,
+        *,
+        content_type: str = "application/json",
+        trace_id: Optional[str] = None,
     ) -> None:
+        trace_header = f"X-Trace-Id: {trace_id}\r\n" if trace_id else ""
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+            f"{trace_header}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
 
     # ------------------------------------------------------------ routing
 
+    @staticmethod
+    def _endpoint_of(target: str) -> Tuple[str, str]:
+        """(endpoint, dataset) metric labels for a request target."""
+        segments = [s for s in urlsplit(target).path.split("/") if s]
+        endpoint = segments[-1] if segments else "index"
+        dataset = segments[0] if len(segments) == 2 else ""
+        return endpoint, dataset
+
+    def _wants_prometheus(self, headers: Dict[str, str], target: str) -> bool:
+        """Content negotiation for ``/metrics``: query param or Accept."""
+        params = parse_qs(urlsplit(target).query)
+        fmt = params.get("format", [""])[-1].lower()
+        if fmt:
+            return fmt == "prometheus"
+        accept = headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
     async def _serve_one(
-        self, method: str, target: str, body: bytes
-    ) -> Tuple[int, bytes]:
-        """Route one request; every outcome becomes (status, JSON bytes)."""
+        self, method: str, target: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, str, str]:
+        """Route one request → (status, body bytes, content type, trace id)."""
         self._requests_total += 1
         self._active += 1
+        endpoint, dataset = self._endpoint_of(target)
+        trace_id = headers.get("x-trace-id") or obs_trace.new_trace_id()
+        token = obs_trace.set_trace_id(trace_id)
+        start = time.perf_counter()
+        status = 200
+        ctype = "application/json"
         try:
-            return 200, await self._route(method, target, body)
+            if endpoint == "metrics" and self._wants_prometheus(headers, target):
+                self._require(method, "GET", "/metrics")
+                self._by_endpoint["metrics"] = (
+                    self._by_endpoint.get("metrics", 0) + 1
+                )
+                payload = self.metrics_prometheus().encode("utf-8")
+                ctype = PROMETHEUS_CONTENT_TYPE
+            else:
+                payload = await self._route(method, target, body)
+            return status, payload, ctype, trace_id
         except HTTPError as exc:
             self._errors_total += 1
-            return exc.status, _dumps(exc.payload())
+            status = exc.status
+            return status, _dumps(exc.payload()), "application/json", trace_id
         except UnknownDatasetError as exc:
             self._errors_total += 1
             err = HTTPError(
@@ -381,18 +463,50 @@ class BitrussServer:
                 "unknown_dataset",
                 f"no dataset {exc.args[0]!r}; hosted: {self.registry.names()}",
             )
-            return 404, _dumps(err.payload())
+            status = 404
+            return status, _dumps(err.payload()), "application/json", trace_id
         except StaleArtifactError as exc:
             self._errors_total += 1
             err = HTTPError(503, "stale_artifact", str(exc))
-            return 503, _dumps(err.payload())
+            status = 503
+            return status, _dumps(err.payload()), "application/json", trace_id
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._errors_total += 1
-            traceback.print_exc(file=sys.stderr)
+            _LOG.exception("unhandled error serving %s %s", method, target)
             err = HTTPError(500, "internal", f"{type(exc).__name__}: {exc}")
-            return 500, _dumps(err.payload())
+            status = 500
+            return status, _dumps(err.payload()), "application/json", trace_id
         finally:
             self._active -= 1
+            self._record_request(
+                endpoint, dataset, time.perf_counter() - start, status
+            )
+            obs_trace.reset_trace_id(token)
+
+    def _record_request(
+        self, endpoint: str, dataset: str, elapsed: float, status: int
+    ) -> None:
+        """Account one finished request in the HTTP series registry.
+
+        Scrapes of ``/metrics`` are counted as requests but excluded from
+        the latency histogram and the slow-query log, so monitoring can
+        never perturb the latency signal it reports.
+        """
+        self._m_requests.inc(labels=(endpoint, dataset))
+        if status >= 400:
+            self._m_errors.inc(labels=(endpoint,))
+        if endpoint == "metrics":
+            return
+        self._m_latency.observe(elapsed, labels=(endpoint,))
+        if self.slow_query_s is not None and elapsed >= self.slow_query_s:
+            obs_log.log_slow_query(
+                endpoint=endpoint,
+                dataset=dataset,
+                seconds=elapsed,
+                threshold=self.slow_query_s,
+                status=status,
+                trace_id=obs_trace.current_trace_id(),
+            )
 
     async def _route(self, method: str, target: str, body: bytes) -> bytes:
         split = urlsplit(target)
@@ -766,6 +880,8 @@ class BitrussServer:
                 "errors_total": self._errors_total,
                 "active_requests": self._active,
                 "by_endpoint": dict(self._by_endpoint),
+                "process_start_time": self._started_at,
+                "uptime_seconds": time.time() - self._started_at,
             },
             "datasets": self.registry.metrics(),
         }
@@ -773,7 +889,122 @@ class BitrussServer:
             payload["coalescer"] = self.coalescer.stats()
         if self.updates is not None:
             payload["updates"] = self.updates.stats()
+        if obs_phases.enabled():
+            payload["profile"] = obs_phases.tree()
         return payload
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of everything ``metrics()`` knows.
+
+        Built fresh per scrape: the server's live HTTP series and the
+        process-global library registry are merged into a scratch
+        registry, then the legacy JSON payload's derived signals
+        (versions, cache hit rates, coalescer fold ratio, update
+        counters) are synthesized on top as gauges/counters.
+        """
+        reg = obs_metrics.MetricsRegistry()
+        reg.merge_snapshot(obs_metrics.get_registry().snapshot())
+        reg.merge_snapshot(self._metrics.snapshot())
+        data = self.metrics()
+        server = data["server"]
+        reg.counter(
+            "repro_server_requests_total", "All HTTP requests since start."
+        ).set_to(server["requests_total"])
+        reg.counter(
+            "repro_server_errors_total", "All error responses since start."
+        ).set_to(server["errors_total"])
+        reg.gauge(
+            "repro_server_active_requests", "Requests currently in flight."
+        ).set(server["active_requests"])
+        reg.gauge(
+            "repro_process_start_time_seconds",
+            "Unix time the server object was created.",
+        ).set(server["process_start_time"])
+        reg.gauge(
+            "repro_process_uptime_seconds", "Seconds since server start."
+        ).set(server["uptime_seconds"])
+        version_g = reg.gauge(
+            "repro_dataset_artifact_version",
+            "Live artifact version per hosted dataset.",
+            ("dataset",),
+        )
+        edges_g = reg.gauge(
+            "repro_dataset_edges",
+            "Edges in the served graph per dataset.",
+            ("dataset",),
+        )
+        hits_c = reg.counter(
+            "repro_dataset_cache_hits_total",
+            "Query-cache hits per dataset.",
+            ("dataset",),
+        )
+        misses_c = reg.counter(
+            "repro_dataset_cache_misses_total",
+            "Query-cache misses per dataset.",
+            ("dataset",),
+        )
+        hit_rate_g = reg.gauge(
+            "repro_dataset_cache_hit_rate",
+            "hits / (hits + misses) per dataset (0 when unqueried).",
+            ("dataset",),
+        )
+        for name, entry in data["datasets"].items():
+            labels = (name,)
+            version_g.set(entry["version"], labels)
+            edges_g.set(entry["num_edges"], labels)
+            cache = entry["cache"]
+            hits, misses = cache["hits"], cache["misses"]
+            hits_c.set_to(hits, labels)
+            misses_c.set_to(misses, labels)
+            hit_rate_g.set(hits / (hits + misses) if hits + misses else 0.0, labels)
+        coal = data.get("coalescer")
+        if coal is not None:
+            reg.counter(
+                "repro_coalescer_submitted_total", "Query-list submissions."
+            ).set_to(coal["submitted"])
+            reg.counter(
+                "repro_coalescer_merged_total",
+                "Submissions merged onto an identical in-flight request.",
+            ).set_to(coal["merged"])
+            reg.counter(
+                "repro_coalescer_flushes_total", "Engine batches flushed."
+            ).set_to(coal["flushes"])
+            reg.counter(
+                "repro_coalescer_queries_flushed_total",
+                "Individual queries carried by flushed batches.",
+            ).set_to(coal["queries_flushed"])
+            reg.gauge(
+                "repro_coalescer_fold_ratio",
+                "Submissions per engine batch (submitted / flushes).",
+            ).set(coal["submitted"] / coal["flushes"] if coal["flushes"] else 0.0)
+        upd = data.get("updates")
+        if upd is not None:
+            fams = {
+                "mutations": reg.counter(
+                    "repro_updates_mutations_total",
+                    "Edge mutations accepted per dataset.",
+                    ("dataset",),
+                ),
+                "rebuilds": reg.counter(
+                    "repro_updates_rebuilds_total",
+                    "Full artifact rebuilds per dataset.",
+                    ("dataset",),
+                ),
+                "incremental_patches": reg.counter(
+                    "repro_updates_incremental_patches_total",
+                    "Localized incremental phi patches per dataset.",
+                    ("dataset",),
+                ),
+                "incremental_fallbacks": reg.counter(
+                    "repro_updates_incremental_fallbacks_total",
+                    "Incremental repairs that fell back to a rebuild.",
+                    ("dataset",),
+                ),
+            }
+            for name, entry in upd.items():
+                for key, fam in fams.items():
+                    fam.set_to(entry.get(key, 0) or 0, (name,))
+        return reg.to_prometheus()
 
     def __repr__(self) -> str:
         return (

@@ -36,15 +36,19 @@ resumes.
 from __future__ import annotations
 
 import asyncio
-import sys
-import traceback
+import time
 from concurrent.futures import Executor
 from typing import Dict, List, Optional, Sequence
 
 from repro.maintenance.dynamic import DynamicBipartiteGraph
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import phases as obs_phases
 from repro.server.registry import ArtifactRegistry
 from repro.service.artifacts import DecompositionArtifact
 from repro.service.engine import QueryEngine
+
+_LOG = obs_log.get_logger("server.updates")
 
 
 class MutationError(ValueError):
@@ -310,6 +314,7 @@ class UpdateManager:
         deployment outgrows that, this is the seam to move onto the
         executor behind a per-dataset publish lock.
         """
+        publish_start = time.perf_counter()
         entry = self.registry.get(name)
         dynamic = self._dynamics[name]
         tracker = dynamic.tracker
@@ -337,6 +342,17 @@ class UpdateManager:
         # the patch and marks its (older) artifact stale on landing.
         self._gen[name] += 1
         self._patches[name] += 1
+        obs_phases.add("publish patch", time.perf_counter() - publish_start)
+        obs_metrics.get_registry().counter(
+            "repro_incremental_patch_publishes_total",
+            "Patched artifacts published without a rebuild.",
+            ("dataset",),
+        ).inc(labels=(name,))
+        _LOG.debug(
+            "published incremental patch for %r (version %d)",
+            name,
+            entry.version,
+        )
 
     # ---------------------------------------------------------- rebuild
 
@@ -356,7 +372,7 @@ class UpdateManager:
                     # mutation schedule a fresh attempt.
                     self._rebuild_errors[name] += 1
                     self._last_error[name] = f"{type(exc).__name__}: {exc}"
-                    traceback.print_exc(file=sys.stderr)
+                    _LOG.exception("rebuild of dataset %r failed", name)
                     return
                 self._last_error[name] = None
                 if self._gen[name] == gen:
@@ -386,7 +402,9 @@ class UpdateManager:
             return artifact, engine
 
         loop = asyncio.get_running_loop()
+        rebuild_start = time.perf_counter()
         artifact, engine = await loop.run_in_executor(self._executor, _build)
+        obs_phases.add("rebuild", time.perf_counter() - rebuild_start)
         # Back on the loop thread: swap atomically and rewire staleness
         # subscriptions to the new pair.  The outgoing engine is read *now*
         # — an incremental patch may have swapped it while the build ran,

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import trace as obs_trace
 from repro.service.artifacts import (
     DecompositionArtifact,
     StaleArtifactError,
@@ -83,9 +84,10 @@ class QueryEngine:
         self.artifact = artifact
         self.graph: BipartiteGraph = artifact.graph
         self.phi: np.ndarray = artifact.phi
-        self.hierarchy: BitrussHierarchy = build_hierarchy(
-            artifact.graph, artifact.phi
-        )
+        with obs_trace.span("hierarchy build"):
+            self.hierarchy: BitrussHierarchy = build_hierarchy(
+                artifact.graph, artifact.phi
+            )
         self.allow_stale = allow_stale
         self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
         self._cache_size = cache_size
@@ -455,16 +457,17 @@ class QueryEngine:
             "phi_of": self.phi_of,
         }
         results: List[object] = []
-        for query in queries:
-            params = dict(query)
-            op = params.pop("op", None)
-            if op not in dispatch:
-                raise ValueError(
-                    f"unknown batch op {op!r}; choose from {sorted(dispatch)}"
-                )
-            if op == "hierarchy_path" and "edge" in params:
-                params["edge"] = tuple(params["edge"])  # JSON lists arrive
-            results.append(dispatch[op](**params))
+        with obs_trace.span("engine batch"):
+            for query in queries:
+                params = dict(query)
+                op = params.pop("op", None)
+                if op not in dispatch:
+                    raise ValueError(
+                        f"unknown batch op {op!r}; choose from {sorted(dispatch)}"
+                    )
+                if op == "hierarchy_path" and "edge" in params:
+                    params["edge"] = tuple(params["edge"])  # JSON lists arrive
+                results.append(dispatch[op](**params))
         return results
 
     def __repr__(self) -> str:

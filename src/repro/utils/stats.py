@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import phases as _obs_phases
+
 
 class UpdateCounter:
     """Counts butterfly-support updates, optionally bucketed.
@@ -124,13 +126,22 @@ class _PhaseContext:
         self._timer = timer
         self._phase = phase
         self._start = 0.0
+        self._span = None
 
     def __enter__(self) -> "_PhaseContext":
+        # Every timer.time(...) site also feeds the structured phase
+        # profiler when it is enabled, so instrumented algorithms show
+        # up in the profile tree without duplicate call sites.
+        self._span = _obs_phases.phase(self._phase)
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._timer.add(self._phase, time.perf_counter() - self._start)
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
 
 
 @dataclass

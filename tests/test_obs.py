@@ -1,0 +1,684 @@
+"""repro.obs: metrics, phase profiling, tracing, logging, and their wiring.
+
+Covers the unified observability layer end to end: the metric primitives
+and their Prometheus exposition (pinned by a golden file), the phase
+profiler (including the no-op cost contract on the disabled path), trace
+propagation through the coalescer and across pool worker processes, the
+server's content-negotiated ``/metrics``, the slow-query log, and the
+CLI's ``--profile``/``--json``/``--quiet`` surfaces.
+"""
+
+import asyncio
+import json
+import logging
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_bipartite, paper_figure4_graph
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import phases as obs_phases
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.server import ArtifactRegistry, BitrussServer, QueryCoalescer
+from repro.service import build_artifact
+
+GOLDEN = Path(__file__).parent / "data" / "obs_prometheus_golden.txt"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with profiling off and empty registries."""
+    obs_phases.enable(False)
+    obs_phases.reset()
+    obs_metrics.reset_registry()
+    yield
+    obs_phases.enable(False)
+    obs_phases.reset()
+    obs_metrics.reset_registry()
+    obs_log.configure(quiet=False)
+
+
+# ------------------------------------------------------------------ metrics
+
+
+class TestMetricsPrimitives:
+    def test_counter_accumulates_per_label(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "help", ("op",))
+        c.inc(labels=("a",))
+        c.inc(2.5, labels=("a",))
+        c.inc(labels=("b",))
+        assert c.value(("a",)) == 3.5
+        assert c.value(("b",)) == 1.0
+        assert c.value(("never",)) == 0.0
+
+    def test_counter_rejects_negative_and_bad_labels(self):
+        c = MetricsRegistry().counter("c_total", "", ("op",))
+        with pytest.raises(ValueError):
+            c.inc(-1, labels=("a",))
+        with pytest.raises(ValueError):
+            c.inc(labels=())  # wrong arity
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value() == 3.0
+
+    def test_histogram_buckets_sum_count(self):
+        h = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 3.0):
+            h.observe(v)
+        assert h.bucket_counts() == [1, 2, 1]
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(4.05)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 0.1))
+        with pytest.raises(ValueError):
+            reg.histogram("h2", buckets=(0.1, 0.1))
+
+    def test_registry_get_or_create_guards_kind_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", "", ("a",))
+        assert reg.counter("m", "", ("a",)) is c
+        with pytest.raises(ValueError):
+            reg.gauge("m", "", ("a",))
+        with pytest.raises(ValueError):
+            reg.counter("m", "", ("a", "b"))
+
+    def test_snapshot_merge_semantics(self):
+        src = MetricsRegistry()
+        src.counter("c_total").inc(2)
+        src.gauge("g").set(7)
+        src.histogram("h", buckets=(1.0,)).observe(0.5)
+
+        snap = pickle.loads(pickle.dumps(src.snapshot()))  # picklable
+        dst = MetricsRegistry()
+        dst.counter("c_total").inc(1)
+        dst.gauge("g").set(3)
+        dst.histogram("h", buckets=(1.0,)).observe(2.0)
+        dst.merge_snapshot(snap)
+
+        assert dst.counter("c_total").value() == 3.0  # counters add
+        assert dst.gauge("g").value() == 7.0  # gauges last-write-win
+        h = dst.histogram("h", buckets=(1.0,))
+        assert h.count() == 2 and h.bucket_counts() == [1, 1]
+
+    def test_merge_rejects_mismatched_histogram_buckets(self):
+        src = MetricsRegistry()
+        src.histogram("h", buckets=(1.0,)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("h", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            dst.merge_snapshot(src.snapshot())
+
+
+class TestPrometheusExposition:
+    @staticmethod
+    def _golden_registry() -> MetricsRegistry:
+        reg = MetricsRegistry()
+        c = reg.counter(
+            "repro_test_requests_total", "Requests served.", ("endpoint",)
+        )
+        c.inc(3, labels=("stats",))
+        c.inc(labels=("community",))
+        reg.gauge("repro_test_active", "Active requests.").set(2)
+        h = reg.histogram(
+            "repro_test_seconds",
+            "Request latency.",
+            ("endpoint",),
+            buckets=(0.01, 0.1, 1.0),
+        )
+        h.observe(0.005, ("stats",))
+        h.observe(0.05, ("stats",))
+        h.observe(2.0, ("stats",))
+        return reg
+
+    def test_exposition_matches_golden_file(self):
+        assert self._golden_registry().to_prometheus() == GOLDEN.read_text()
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "", ("p",)).inc(labels=('a"b\\c\nd',))
+        assert 'p="a\\"b\\\\c\\nd"' in reg.to_prometheus()
+
+
+def parse_prometheus(text: str) -> dict:
+    """Tiny exposition parser: {series name+labels: float value}."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        series[name] = float(value)
+    return series
+
+
+# ------------------------------------------------------------------- phases
+
+
+class TestPhases:
+    def test_disabled_phase_is_shared_noop(self):
+        assert obs_phases.phase("a") is obs_phases.phase("b")
+
+    def test_enabled_builds_nested_tree(self):
+        obs_phases.enable(True)
+        with obs_phases.phase("outer"):
+            with obs_phases.phase("inner"):
+                pass
+            with obs_phases.phase("inner"):
+                pass
+        tree = obs_phases.tree()
+        (outer,) = tree["children"]
+        assert outer["name"] == "outer" and outer["count"] == 1
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner" and inner["count"] == 2
+        assert outer["seconds"] >= inner["seconds"] >= 0.0
+
+    def test_add_and_leaf_seconds(self):
+        obs_phases.enable(True)
+        with obs_phases.phase("parent"):
+            obs_phases.add("leaf1", 0.25)
+            obs_phases.add("leaf2", 0.5, count=3)
+        tree = obs_phases.tree()
+        assert obs_phases.leaf_seconds(tree) == pytest.approx(0.75)
+
+    def test_merge_tree_grafts_under_open_phase(self):
+        obs_phases.enable(True)
+        harvest = {
+            "name": "total",
+            "seconds": 0.0,
+            "count": 0,
+            "children": [
+                {"name": "kernel", "seconds": 0.4, "count": 2, "children": []}
+            ],
+        }
+        with obs_phases.phase("dispatch"):
+            obs_phases.merge_tree(harvest)
+            obs_phases.merge_tree(harvest)
+        (dispatch,) = obs_phases.tree()["children"]
+        (kernel,) = dispatch["children"]
+        assert kernel["seconds"] == pytest.approx(0.8)
+        assert kernel["count"] == 4
+
+    def test_snapshot_returns_none_when_disabled_or_empty(self):
+        assert obs_phases.snapshot() is None
+        obs_phases.enable(True)
+        assert obs_phases.snapshot() is None  # enabled but nothing recorded
+        with obs_phases.phase("x"):
+            pass
+        snap = obs_phases.snapshot()
+        assert snap["children"][0]["name"] == "x"
+        assert obs_phases.snapshot() is None  # snapshot resets
+
+    def test_render_tree_marks_repeat_counts(self):
+        obs_phases.enable(True)
+        for _ in range(3):
+            with obs_phases.phase("step"):
+                pass
+        rendered = obs_phases.render_tree(obs_phases.tree())
+        assert "step" in rendered and "x3" in rendered
+        assert obs_phases.render_tree({"name": "total", "seconds": 0.0,
+                                       "count": 0, "children": []}) == (
+            "(no phases recorded)"
+        )
+
+    def test_phase_timer_bridge_feeds_profiler(self):
+        from repro.utils.stats import PhaseTimer
+
+        obs_phases.enable(True)
+        timer = PhaseTimer()
+        with timer.time("bridged"):
+            pass
+        assert [c["name"] for c in obs_phases.tree()["children"]] == ["bridged"]
+        assert timer.elapsed("bridged") >= 0.0 and "bridged" in timer.phases()
+
+    def test_env_flag_enables_profiling(self):
+        script = (
+            "from repro.obs import phases; "
+            "import sys; sys.exit(0 if phases.enabled() else 1)"
+        )
+        env_src = {"PYTHONPATH": "src", "REPRO_PROFILE": "1"}
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env_src,
+            cwd=str(Path(__file__).parent.parent),
+        )
+        assert proc.returncode == 0
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONPATH": "src"},
+            cwd=str(Path(__file__).parent.parent),
+        )
+        assert proc.returncode == 1
+
+    def test_noop_overhead_under_two_percent_on_bit_bu_csr(self, monkeypatch):
+        """Disabled-path contract: instrumentation costs < 2% of runtime.
+
+        Deterministic form of the acceptance bar: count every phase()
+        entry a bit-bu-csr run makes, measure the per-call cost of the
+        disabled path directly, and compare their product against the
+        run's wall time (no noisy A/B of two full runs).
+        """
+        from repro.core.bit_bu_batch import bit_bu_csr
+
+        graph = erdos_renyi_bipartite(300, 300, 2500, seed=7)
+        bit_bu_csr(graph)  # warm caches (sorted CSR, priorities)
+
+        calls = {"n": 0}
+        real_phase = obs_phases.phase
+
+        def counting_phase(name):
+            calls["n"] += 1
+            return real_phase(name)
+
+        monkeypatch.setattr(obs_phases, "phase", counting_phase)
+        start = time.perf_counter()
+        bit_bu_csr(graph)
+        wall = time.perf_counter() - start
+        monkeypatch.undo()
+
+        reps = 100_000
+        start = time.perf_counter()
+        for _ in range(reps):
+            with obs_phases.phase("x"):
+                pass
+        per_call = (time.perf_counter() - start) / reps
+
+        overhead = calls["n"] * per_call
+        assert calls["n"] > 0
+        assert overhead < 0.02 * wall, (
+            f"{calls['n']} phase() calls x {per_call * 1e9:.0f} ns "
+            f"= {overhead * 1e3:.3f} ms vs {wall * 1e3:.1f} ms wall"
+        )
+
+
+# -------------------------------------------------------------------- trace
+
+
+class TestTrace:
+    def test_trace_context_sets_and_restores(self):
+        assert obs_trace.current_trace_id() is None
+        with obs_trace.trace_context() as tid:
+            assert obs_trace.current_trace_id() == tid
+            with obs_trace.trace_context("abc") as inner:
+                assert inner == "abc"
+                assert obs_trace.current_trace_id() == "abc"
+            assert obs_trace.current_trace_id() == tid
+        assert obs_trace.current_trace_id() is None
+
+    def test_trace_ids_are_distinct(self):
+        ids = {obs_trace.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_json_formatter_carries_trace_id_and_extras(self):
+        record = logging.LogRecord(
+            "repro.server", logging.INFO, __file__, 1, "served %d", (3,), None
+        )
+        record.dataset = "fig4"
+        with obs_trace.trace_context("deadbeef"):
+            payload = json.loads(obs_log.JsonFormatter().format(record))
+        assert payload["message"] == "served 3"
+        assert payload["trace_id"] == "deadbeef"
+        assert payload["dataset"] == "fig4"
+        assert payload["level"] == "info"
+
+    def test_coalescer_collects_trace_ids_of_merged_waiters(self):
+        async def scenario():
+            coalescer = QueryCoalescer(window=0.01)
+
+            async def runner(queries):
+                return list(range(len(queries))), 1
+
+            async def submit(tid):
+                with obs_trace.trace_context(tid):
+                    return await coalescer.submit(
+                        "ds", [{"op": "stats"}], runner
+                    )
+
+            shared = await asyncio.gather(submit("t-one"), submit("t-two"))
+            # Both waiters folded into one flush; the shared result carries
+            # every contributing trace id.
+            assert shared[0] is shared[1] or (
+                shared[0].trace_ids == shared[1].trace_ids
+            )
+            assert sorted(shared[0].trace_ids) == ["t-one", "t-two"]
+
+        run(scenario())
+
+
+class TestRuntimeObservability:
+    @pytest.fixture(autouse=True)
+    def _needs_shm(self):
+        from repro.runtime import is_available
+
+        if not is_available():
+            pytest.skip("POSIX shared memory unavailable")
+
+    def test_trace_and_metrics_cross_worker_boundary(self):
+        from repro.runtime import ParallelRuntime
+
+        graph = paper_figure4_graph()
+        with obs_trace.trace_context("cross-proc"):
+            with ParallelRuntime(graph, workers=2) as runtime:
+                echoed = runtime.map_tasks(_echo_trace, [(0,), (1,)])
+        assert echoed == ["cross-proc", "cross-proc"]
+        tasks = obs_metrics.get_registry().get("repro_runtime_tasks_total")
+        assert tasks is not None
+        assert tasks.value(("_echo_trace",)) == 2.0
+
+    def test_worker_phase_trees_merge_under_dispatch_phase(self):
+        from repro.runtime import ParallelRuntime
+
+        graph = paper_figure4_graph()
+        obs_phases.enable(True)
+        with ParallelRuntime(graph, workers=2) as runtime:
+            with obs_phases.phase("dispatch"):
+                runtime.map_tasks(_echo_trace, [(0,), (1,)])
+        (dispatch,) = obs_phases.tree()["children"]
+        kernels = [c for c in dispatch["children"] if c["name"] == "kernel"]
+        assert kernels and kernels[0]["count"] == 2
+
+
+def _echo_trace(_i):
+    """Module-level (picklable) task: report the worker's active trace id."""
+    return obs_trace.current_trace_id()
+
+
+# ------------------------------------------------------------------- server
+
+
+async def raw_http(port, method, target, headers=None):
+    """One exchange returning (status, header dict, raw body bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
+        writer.write(
+            f"{method} {target} HTTP/1.1\r\nHost: t\r\n{extra}"
+            "Content-Length: 0\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    hdrs = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        hdrs[key.strip().lower()] = value.strip()
+    return status, hdrs, body
+
+
+@pytest.fixture(scope="module")
+def fig4_artifact():
+    return build_artifact(paper_figure4_graph(), algorithm="bit-bu-csr")
+
+
+def make_server(artifact, **kwargs):
+    registry = ArtifactRegistry()
+    registry.register("fig4", artifact)
+    return BitrussServer(registry, port=0, **kwargs)
+
+
+class TestServerObservability:
+    def test_metrics_json_has_uptime_and_start_time(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                status, _, body = await raw_http(server.port, "GET", "/metrics")
+                assert status == 200
+                payload = json.loads(body)
+                srv = payload["server"]
+                assert srv["process_start_time"] <= time.time()
+                assert 0.0 <= srv["uptime_seconds"] < 3600.0
+                # Legacy keys stay intact.
+                assert {"requests_total", "errors_total", "by_endpoint"} <= set(srv)
+
+        run(scenario())
+
+    def test_metrics_content_negotiation(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                await raw_http(server.port, "GET", "/fig4/stats")
+
+                # Default scrape stays JSON.
+                _, hdrs, body = await raw_http(server.port, "GET", "/metrics")
+                assert hdrs["content-type"] == "application/json"
+                json.loads(body)
+
+                # Query param forces the exposition format...
+                _, hdrs, body = await raw_http(
+                    server.port, "GET", "/metrics?format=prometheus"
+                )
+                assert hdrs["content-type"].startswith("text/plain")
+                series = parse_prometheus(body.decode())
+                assert series['repro_http_requests_total{endpoint="stats",dataset="fig4"}'] == 1
+                assert series["repro_server_active_requests"] == 1  # this scrape
+                assert series['repro_dataset_artifact_version{dataset="fig4"}'] == 1
+
+                # ... and so does an Accept: text/plain header.
+                _, hdrs, body = await raw_http(
+                    server.port, "GET", "/metrics",
+                    headers={"Accept": "text/plain"},
+                )
+                assert hdrs["content-type"].startswith("text/plain")
+                assert b"# TYPE repro_http_requests_total counter" in body
+
+                # An explicit json format wins over the Accept header.
+                _, hdrs, _ = await raw_http(
+                    server.port, "GET", "/metrics?format=json",
+                    headers={"Accept": "text/plain"},
+                )
+                assert hdrs["content-type"] == "application/json"
+
+        run(scenario())
+
+    def test_histogram_buckets_are_cumulative_and_consistent(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                for _ in range(5):
+                    await raw_http(server.port, "GET", "/fig4/stats")
+                _, _, body = await raw_http(
+                    server.port, "GET", "/metrics?format=prometheus"
+                )
+                series = parse_prometheus(body.decode())
+                buckets = [
+                    (name, value)
+                    for name, value in series.items()
+                    if name.startswith("repro_http_request_seconds_bucket")
+                    and 'endpoint="stats"' in name
+                ]
+                values = [v for _, v in buckets]
+                assert values == sorted(values)  # cumulative => monotone
+                inf = series[
+                    'repro_http_request_seconds_bucket{endpoint="stats",le="+Inf"}'
+                ]
+                count = series[
+                    'repro_http_request_seconds_count{endpoint="stats"}'
+                ]
+                assert inf == count == 5
+
+        run(scenario())
+
+    def test_scrapes_counted_but_excluded_from_latency(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                for _ in range(3):
+                    await raw_http(server.port, "GET", "/metrics")
+                _, _, body = await raw_http(
+                    server.port, "GET", "/metrics?format=prometheus"
+                )
+                text = body.decode()
+                series = parse_prometheus(text)
+                # Scrapes count as requests (the 4th — this prometheus one —
+                # is still in flight while its own body is rendered, so the
+                # completed-request family shows the 3 JSON scrapes) ...
+                assert series[
+                    'repro_http_requests_total{endpoint="metrics",dataset=""}'
+                ] == 3
+                # ... but never enter the latency histogram.
+                assert 'repro_http_request_seconds_count{endpoint="metrics"}' not in series
+                # The in-flight total counts all 4 at scrape time.
+                assert series["repro_server_requests_total"] == 4
+
+        run(scenario())
+
+    def test_trace_id_header_echoed_and_generated(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                _, hdrs, _ = await raw_http(
+                    server.port, "GET", "/fig4/stats",
+                    headers={"X-Trace-Id": "client-chosen"},
+                )
+                assert hdrs["x-trace-id"] == "client-chosen"
+                _, hdrs, _ = await raw_http(server.port, "GET", "/fig4/stats")
+                generated = hdrs["x-trace-id"]
+                assert generated and generated != "client-chosen"
+
+        run(scenario())
+
+    def test_slow_query_log_fires_past_threshold(self, fig4_artifact):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = Capture()
+        logger = obs_log.slow_query_logger()
+        logger.addHandler(handler)
+        try:
+            async def scenario():
+                # Threshold 0: every non-scrape request is "slow".
+                async with make_server(fig4_artifact, slow_query_s=0.0) as server:
+                    await raw_http(
+                        server.port, "GET", "/fig4/stats",
+                        headers={"X-Trace-Id": "slow-one"},
+                    )
+                    await raw_http(server.port, "GET", "/metrics")
+
+            run(scenario())
+        finally:
+            logger.removeHandler(handler)
+
+        (record,) = records  # the scrape must not log
+        assert record.levelno == logging.WARNING
+        assert record.endpoint == "stats"
+        assert record.dataset == "fig4"
+        assert record.trace_id == "slow-one"
+        assert "slow query" in record.getMessage()
+
+    def test_no_slow_log_when_disabled(self, fig4_artifact):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = Capture()
+        logger = obs_log.slow_query_logger()
+        logger.addHandler(handler)
+        try:
+            async def scenario():
+                async with make_server(fig4_artifact) as server:  # no threshold
+                    await raw_http(server.port, "GET", "/fig4/stats")
+
+            run(scenario())
+        finally:
+            logger.removeHandler(handler)
+        assert records == []
+
+    def test_profile_block_present_only_when_enabled(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                _, _, body = await raw_http(server.port, "GET", "/metrics")
+                assert "profile" not in json.loads(body)
+                obs_phases.enable(True)
+                await raw_http(server.port, "GET", "/fig4/stats")
+                _, _, body = await raw_http(server.port, "GET", "/metrics")
+                payload = json.loads(body)
+                assert payload["profile"]["name"] == "total"
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+class TestCliObservability:
+    def test_decompose_quiet_json_profile(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["decompose", "--dataset", "marvel", "--json", "--quiet", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # --quiet leaves pure JSON on stdout
+        profile = payload["profile"]
+        assert profile["wall_seconds"] > 0
+        names = [c["name"] for c in profile["tree"]["children"]]
+        assert "load graph" in names
+        assert "peeling" in names
+        leaves = obs_phases.leaf_seconds(profile["tree"])
+        assert 0 < leaves <= profile["wall_seconds"] * 1.05
+
+    def test_decompose_narrates_without_quiet(self, capsys):
+        from repro.cli import main
+
+        assert main(["decompose", "--dataset", "marvel"]) == 0
+        out = capsys.readouterr().out
+        assert "max bitruss number" in out
+
+    def test_query_json_payload(self, capsys, tmp_path):
+        from repro.cli import main
+
+        artifact = tmp_path / "fig4.npz"
+        assert main(
+            ["index", "--dataset", "marvel", "--output", str(artifact), "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", str(artifact), "--json", "--quiet", "histogram"]
+        ) == 0
+        histogram = json.loads(capsys.readouterr().out)
+        assert histogram and all(int(v) > 0 for v in histogram.values())
+
+    def test_stats_profile_file_mode(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(
+            ["decompose", "--dataset", "marvel", "--json", "--quiet", "--profile"]
+        ) == 0
+        payload = capsys.readouterr().out
+        saved = tmp_path / "run.json"
+        saved.write_text(payload)
+        obs_phases.enable(False)
+
+        assert main(["stats", "--profile", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "wall time:" in out
+        assert "leaf coverage:" in out
+        assert "peeling" in out
+
+    def test_stats_profile_rejects_profileless_json(self, tmp_path):
+        from repro.cli import main
+
+        saved = tmp_path / "plain.json"
+        saved.write_text(json.dumps({"max_k": 4}))
+        with pytest.raises(SystemExit, match="no phase tree"):
+            main(["stats", "--profile", str(saved)])
