@@ -17,6 +17,9 @@ Subcommands
                 stats queries against a saved artifact — no recompute.
 ``serve``       host one or more datasets/artifacts over HTTP (asyncio,
                 request coalescing, hot-swap rebuilds on mutation).
+``trace``       inspect a running server's live tracing plane: list the
+                recent/slowest traces, print one trace's waterfall, or
+                export it as Chrome trace-event JSON for Perfetto.
 
 Examples
 --------
@@ -33,6 +36,8 @@ Examples
     repro-bitruss query github.npz k-bitruss -k 6 --output h6.txt
     repro-bitruss serve --dataset github --dataset marvel --port 8642
     repro-bitruss serve --artifact github.npz --mutable --workers 4
+    repro-bitruss trace --slowest 5
+    repro-bitruss trace --id 4b5dd1e06c15a4f1 --export-chrome trace.json
     repro-bitruss gen chung-lu --upper 500000 --lower 500000 \
         --edges 1000000 scale.txt.gz
     repro-bitruss index scale.txt.gz --streaming --algorithm bu-csr \
@@ -666,6 +671,7 @@ async def _serve_async(args: argparse.Namespace, registry, updates) -> None:
         slow_query_s=(
             args.slow_query_ms / 1000.0 if args.slow_query_ms > 0 else None
         ),
+        trace_sample=args.trace_sample,
     )
     try:
         await server.start()
@@ -694,9 +700,9 @@ async def _serve_async(args: argparse.Namespace, registry, updates) -> None:
             f"{'  (mutable)' if mutable else ''}"
         )
     _say(
-        "endpoints: /datasets /healthz /metrics /{ds}/stats /{ds}/histogram "
-        "/{ds}/community /{ds}/max_k /{ds}/hierarchy_path "
-        "POST /{ds}/batch POST /{ds}/edges"
+        "endpoints: /datasets /healthz /metrics /debug/vars /debug/traces "
+        "/{ds}/stats /{ds}/histogram /{ds}/community /{ds}/max_k "
+        "/{ds}/hierarchy_path POST /{ds}/batch POST /{ds}/edges"
     )
     try:
         await server.serve_forever()
@@ -729,11 +735,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--cache-size must be non-negative")
     if args.slow_query_ms < 0:
         raise SystemExit("--slow-query-ms must be non-negative")
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        raise SystemExit("--trace-sample must be within [0, 1]")
     registry, updates = _build_serve_registry(args)
     try:
         asyncio.run(_serve_async(args, registry, updates))
     except KeyboardInterrupt:
         _say("shutting down")
+    return 0
+
+
+def _debug_get(base: str, path: str) -> object:
+    """Fetch one ``/debug/*`` JSON document from a running server."""
+    from urllib.error import HTTPError as UrlHTTPError
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = base + path
+    try:
+        with urlopen(url) as response:
+            return json.load(response)
+    except UrlHTTPError as exc:
+        try:
+            detail = json.load(exc).get("message", "")
+        except Exception:  # noqa: BLE001 - best-effort error body
+            detail = ""
+        raise SystemExit(
+            f"{url}: HTTP {exc.code}" + (f" ({detail})" if detail else "")
+        )
+    except (URLError, OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot reach {url}: {exc}")
+
+
+def _render_waterfall(node: dict, depth: int = 0) -> None:
+    """One line per span: offset, duration, name, error marker."""
+    marker = "  !" if node.get("status") == "error" else ""
+    pid = node.get("pid")
+    pid_note = f"  [pid {pid}]" if depth and pid is not None else ""
+    _say(
+        f"  {'  ' * depth}{node['start_ms']:8.3f}ms "
+        f"+{node['duration_ms']:.3f}ms  {node['name']}{pid_note}{marker}"
+    )
+    for child in node.get("children", ()):
+        _render_waterfall(child, depth + 1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    base = args.url
+    if "://" not in base:
+        base = f"http://{base}"
+    base = base.rstrip("/")
+
+    if args.export_chrome and args.id is None:
+        # No explicit trace: export the slowest retained one.
+        listing = _debug_get(base, "/debug/traces?limit=1")
+        slowest = listing.get("slowest") or listing.get("recent") or []
+        if not slowest:
+            raise SystemExit("server has no retained traces to export")
+        args.id = slowest[0]["trace_id"]
+        _say(f"exporting slowest trace {args.id}")
+
+    if args.id is not None:
+        if args.export_chrome:
+            payload = _debug_get(
+                base, f"/debug/traces/{args.id}?format=chrome"
+            )
+            with open(args.export_chrome, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            _say(
+                f"wrote {len(payload.get('traceEvents', []))} trace events "
+                f"to {args.export_chrome} (load at https://ui.perfetto.dev)"
+            )
+            return 0
+        payload = _debug_get(base, f"/debug/traces/{args.id}")
+        if args.json:
+            _emit_json(payload)
+            return 0
+        _say(
+            f"trace {payload['trace_id']}  {payload['name']}  "
+            f"{payload['duration_ms']:.3f}ms  status={payload['status']}"
+        )
+        for root in payload.get("spans", ()):
+            _render_waterfall(root)
+        return 0
+
+    query = [f"limit={args.slowest or args.limit}"]
+    if args.endpoint:
+        query.append(f"endpoint={args.endpoint}")
+    if args.dataset:
+        query.append(f"dataset={args.dataset}")
+    listing = _debug_get(base, "/debug/traces?" + "&".join(query))
+    if args.json:
+        _emit_json(listing)
+        return 0
+    sections = (
+        [("slowest", listing.get("slowest", []))]
+        if args.slowest
+        else [
+            ("recent", listing.get("recent", [])),
+            ("slowest", listing.get("slowest", [])),
+        ]
+    )
+    for title, rows in sections:
+        _say(f"{title}:")
+        if not rows:
+            _say("  (none)")
+        for row in rows:
+            where = row["endpoint"] or row["name"]
+            if row.get("dataset"):
+                where += f" [{row['dataset']}]"
+            _say(
+                f"  {row['trace_id']}  {row['duration_ms']:9.3f}ms  "
+                f"{row['spans']:3d} spans  {where}"
+                + ("  !" if row["status"] == "error" else "")
+            )
     return 0
 
 
@@ -1087,7 +1202,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="log queries slower than this threshold to the "
         "repro.server.slow logger (default 250; 0 disables)",
     )
+    p_srv.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of traces the span recorder retains (0..1; "
+        "default: REPRO_TRACE_SAMPLE or 1.0; slow traces are always "
+        "kept; 0 disables span recording entirely)",
+    )
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_tr = sub.add_parser(
+        "trace", help="inspect a running server's live tracing plane"
+    )
+    p_tr.add_argument(
+        "--url",
+        default="127.0.0.1:8642",
+        help="server address (host:port or full URL; default 127.0.0.1:8642)",
+    )
+    p_tr.add_argument(
+        "--id",
+        metavar="TRACE_ID",
+        help="print one trace's waterfall instead of the listing",
+    )
+    p_tr.add_argument(
+        "--slowest",
+        type=int,
+        default=None,
+        metavar="N",
+        help="list only the N slowest retained traces",
+    )
+    p_tr.add_argument(
+        "--export-chrome",
+        metavar="FILE",
+        help="write Chrome trace-event JSON (for --id, or the slowest "
+        "trace when --id is omitted); load at https://ui.perfetto.dev",
+    )
+    p_tr.add_argument("--endpoint", help="filter the listing by endpoint")
+    p_tr.add_argument("--dataset", help="filter the listing by dataset")
+    p_tr.add_argument(
+        "--limit", type=int, default=20, help="listing size (default 20)"
+    )
+    p_tr.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw /debug/traces payload instead of narration",
+    )
+    p_tr.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress human narration; only machine-readable payloads "
+        "(--json, --export-chrome) are emitted",
+    )
+    p_tr.set_defaults(func=_cmd_trace)
 
     return parser
 

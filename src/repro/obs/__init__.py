@@ -29,9 +29,11 @@ phase profiler when profiling is enabled, so every already-instrumented
 algorithm phase appears in the tree for free.
 """
 
-from repro.obs import log, metrics, phases, trace
+from repro.obs import log, metrics, phases, spans, store, trace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from repro.obs.phases import PhaseProfiler
+from repro.obs.spans import Span, SpanRecorder, get_recorder
+from repro.obs.store import TraceRecord, TraceStore
 from repro.obs.trace import current_trace_id, new_trace_id, span
 
 __all__ = [
@@ -40,12 +42,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseProfiler",
+    "Span",
+    "SpanRecorder",
+    "TraceRecord",
+    "TraceStore",
     "current_trace_id",
+    "get_recorder",
     "get_registry",
     "log",
     "metrics",
     "new_trace_id",
     "phases",
     "span",
+    "spans",
+    "store",
     "trace",
 ]

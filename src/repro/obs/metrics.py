@@ -24,10 +24,15 @@ registry for HTTP series and merges the global one at scrape time.
 
 from __future__ import annotations
 
+import time as _time
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 LabelValues = Tuple[str, ...]
+
+
+def _now() -> float:
+    return _time.time()
 
 #: Default latency buckets (seconds): sub-millisecond cache hits up to
 #: multi-second cold decompositions, roughly logarithmic.
@@ -78,6 +83,14 @@ def _labels_text(names: Tuple[str, ...], values: LabelValues) -> str:
         f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)
     )
     return "{" + inner + "}"
+
+
+def _exemplar_text(slot: list) -> str:
+    labels, value, ts = slot
+    inner = ",".join(
+        f'{n}="{_escape_label(str(v))}"' for n, v in sorted(labels.items())
+    )
+    return f" # {{{inner}}} {_format_value(value)} {ts:.3f}"
 
 
 class Counter:
@@ -152,7 +165,7 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("name", "help", "label_names", "buckets", "_series")
+    __slots__ = ("name", "help", "label_names", "buckets", "_series", "_exemplars")
 
     def __init__(
         self,
@@ -170,9 +183,24 @@ class Histogram:
         self.buckets = bounds
         # label tuple -> [counts list, sum, count]
         self._series: Dict[LabelValues, List[object]] = {}
+        # label tuple -> per-bucket [labels dict, value, unix ts] or None;
+        # the last observation landing in each bucket wins (OpenMetrics
+        # exemplars join histogram buckets to trace ids).
+        self._exemplars: Dict[LabelValues, List[Optional[list]]] = {}
 
-    def observe(self, value: float, labels: Sequence[str] = ()) -> None:
-        """Record one observation into the labelled series."""
+    def observe(
+        self,
+        value: float,
+        labels: Sequence[str] = (),
+        exemplar: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Record one observation, optionally tagged with exemplar labels.
+
+        ``exemplar`` is a small label mapping (typically
+        ``{"trace_id": ...}``) attached to the bucket the observation
+        lands in and surfaced by the OpenMetrics exposition, joining
+        latency buckets to inspectable traces.
+        """
         key = _check_labels(self.label_names, labels)
         series = self._series.get(key)
         if series is None:
@@ -181,9 +209,22 @@ class Histogram:
                 0.0,
                 0,
             ]
-        series[0][bisect_left(self.buckets, value)] += 1
+        idx = bisect_left(self.buckets, value)
+        series[0][idx] += 1
         series[1] += value
         series[2] += 1
+        if exemplar:
+            slots = self._exemplars.get(key)
+            if slots is None:
+                slots = self._exemplars[key] = [None] * (len(self.buckets) + 1)
+            slots[idx] = [dict(exemplar), float(value), _now()]
+
+    def exemplars(self, labels: Sequence[str] = ()) -> List[Optional[list]]:
+        """Per-bucket exemplars (``[labels, value, ts]`` or None) for a series."""
+        slots = self._exemplars.get(_check_labels(self.label_names, labels))
+        if slots is None:
+            return [None] * (len(self.buckets) + 1)
+        return [list(s) if s is not None else None for s in slots]
 
     def count(self, labels: Sequence[str] = ()) -> int:
         """Observations recorded into the labelled series."""
@@ -292,6 +333,11 @@ class MetricsRegistry:
                     key: [list(counts), total, n]
                     for key, (counts, total, n) in family.series().items()
                 }
+                if family._exemplars:
+                    entry["exemplars"] = {
+                        key: [list(s) if s is not None else None for s in slots]
+                        for key, slots in family._exemplars.items()
+                    }
             else:
                 entry["series"] = dict(family.series())
             out[name] = entry
@@ -320,6 +366,16 @@ class MetricsRegistry:
                             series[0][i] += c
                         series[1] += total
                         series[2] += n
+                for key, slots in entry.get("exemplars", {}).items():
+                    key = tuple(key)
+                    mine = family._exemplars.setdefault(
+                        key, [None] * (len(family.buckets) + 1)
+                    )
+                    for i, incoming in enumerate(slots):
+                        if incoming is None:
+                            continue
+                        if mine[i] is None or incoming[2] >= mine[i][2]:
+                            mine[i] = [dict(incoming[0]), incoming[1], incoming[2]]
             elif kind == "gauge":
                 family = self.gauge(name, entry.get("help", ""), label_names)
                 for key, value in entry["series"].items():
@@ -333,13 +389,18 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------ encoding
 
-    def to_prometheus(self) -> str:
+    def to_prometheus(self, *, openmetrics: bool = False) -> str:
         """Encode every family in the Prometheus text exposition format.
 
         Families are emitted in name order and series in label order, so
         the output is deterministic (the golden-file tests rely on it).
         Histograms emit cumulative ``_bucket{le=...}`` series plus
         ``_sum`` and ``_count``, per the exposition format.
+
+        With ``openmetrics=True`` the output additionally carries bucket
+        exemplars (``... # {trace_id="..."} value ts``) and the ``# EOF``
+        terminator; the classic text format stays byte-identical so
+        existing golden files and scrapers are unaffected.
         """
         lines: List[str] = []
         for family in self.families():
@@ -349,16 +410,21 @@ class MetricsRegistry:
             if isinstance(family, Histogram):
                 for key in sorted(family._series):
                     counts, total, n = family._series[key]
+                    slots = family._exemplars.get(key) if openmetrics else None
                     cumulative = 0
-                    for bound, c in zip(family.buckets, counts):
+                    for i, (bound, c) in enumerate(zip(family.buckets, counts)):
                         cumulative += c
                         le = _labels_text(names + ("le",), key + (_format_value(bound),))
-                        lines.append(
-                            f"{family.name}_bucket{le} {cumulative}"
-                        )
+                        line = f"{family.name}_bucket{le} {cumulative}"
+                        if slots is not None and slots[i] is not None:
+                            line += _exemplar_text(slots[i])
+                        lines.append(line)
                     cumulative += counts[-1]
                     le = _labels_text(names + ("le",), key + ("+Inf",))
-                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                    line = f"{family.name}_bucket{le} {cumulative}"
+                    if slots is not None and slots[-1] is not None:
+                        line += _exemplar_text(slots[-1])
+                    lines.append(line)
                     plain = _labels_text(names, key)
                     lines.append(
                         f"{family.name}_sum{plain} {_format_value(total)}"
@@ -369,6 +435,8 @@ class MetricsRegistry:
                     labels = _labels_text(names, key)
                     value = _format_value(family._values[key])
                     lines.append(f"{family.name}{labels} {value}")
+        if openmetrics:
+            lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
 

@@ -9,9 +9,11 @@ Across process boundaries the id rides the pickled task tuples of the
 so worker-side log records and harvested metrics carry the originating
 request's id.
 
-Spans are deliberately thin: :func:`span` delegates to the phase
-profiler when profiling is enabled (so spans appear in the phase tree)
-and is a shared no-op otherwise — tracing never taxes the hot path.
+:func:`span` is the legacy entry point; it now delegates to
+:mod:`repro.obs.spans`, which records a real :class:`~repro.obs.spans.Span`
+when a trace is active (and still feeds the phase tree when profiling
+is enabled) but stays a shared no-op on untraced paths — tracing never
+taxes the hot path.
 """
 
 from __future__ import annotations
@@ -20,8 +22,6 @@ import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator, Optional
-
-from repro.obs import phases
 
 _TRACE_ID: ContextVar[Optional[str]] = ContextVar("repro_trace_id", default=None)
 
@@ -57,6 +57,12 @@ def trace_context(trace_id: Optional[str] = None) -> Iterator[str]:
         _TRACE_ID.reset(token)
 
 
-def span(name: str):
-    """A span context: a phase-tree entry when profiling, else a no-op."""
-    return phases.phase(name)
+def span(name: str, **attrs):
+    """A span context: records a real span inside a trace, else a no-op.
+
+    Import is deferred — :mod:`repro.obs.spans` imports this module for
+    the trace-id contextvar, so a top-level import would be circular.
+    """
+    from repro.obs import spans as _spans
+
+    return _spans.span(name, **attrs)

@@ -36,6 +36,7 @@ import numpy as np
 from repro.graph.bipartite import BipartiteGraph
 from repro.obs import metrics as obs_metrics
 from repro.obs import phases as obs_phases
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.runtime.shm import ArenaManifest, ShmArena, is_available
 
@@ -98,33 +99,56 @@ def _worker_init() -> None:
     # phantom nodes), so every worker starts from zero.
     obs_metrics.get_registry().reset()
     obs_phases.reset_in_worker()
+    obs_spans.reset_in_worker()
 
 
-def _run_task(fn: Callable, trace_id: Optional[str], profile: bool, *task):
+def _run_task(
+    fn: Callable,
+    trace_id: Optional[str],
+    profile: bool,
+    parent_span: Optional[str],
+    *task,
+):
     """Worker-side task shim: trace propagation plus telemetry harvest.
 
-    The parent's trace id rides the pickled argument tuple; installing it
-    here means worker log records and metrics correlate with the HTTP
-    request (or CLI invocation) that dispatched the task.  Returns
-    ``(result, harvest)`` where ``harvest`` carries the worker registry's
-    delta since the last task and, when profiling, the worker's phase
-    tree — both picklable plain dicts the owner merges on receipt.
+    The parent's trace id — and, when the dispatcher is tracing, the span
+    id of its dispatch span — ride the pickled argument tuple; installing
+    them here means worker log records, metrics and spans correlate with
+    the HTTP request (or CLI invocation) that dispatched the task.
+    Returns ``(result, harvest)`` where ``harvest`` carries the worker
+    registry's delta since the last task, the worker's phase tree when
+    profiling, and the worker's span dicts when tracing — all picklable
+    plain structures the owner merges/grafts on receipt.
     """
     token = obs_trace.set_trace_id(trace_id) if trace_id is not None else None
     if profile and not obs_phases.enabled():
         obs_phases.enable(True)
     registry = obs_metrics.get_registry()
+    traced = trace_id is not None and parent_span is not None
+
+    def _invoke():
+        if profile:
+            with obs_phases.phase("kernel"):
+                return fn(*task)
+        return fn(*task)
+
     try:
         registry.counter(
             "repro_runtime_tasks_total",
             "Tasks executed by pool worker processes.",
             ("fn",),
         ).inc(labels=(getattr(fn, "__name__", "task"),))
-        if profile:
-            with obs_phases.phase("kernel"):
-                result = fn(*task)
+        if traced:
+            # Worker spans parent under the dispatch span by id; monotonic
+            # clocks are system-wide on Linux, so their timestamps line up
+            # with the parent's in one waterfall.
+            with obs_spans.remote_child(trace_id, parent_span):
+                with obs_spans.trace_span(
+                    f"worker:{getattr(fn, '__name__', 'task')}"
+                ):
+                    result = _invoke()
         else:
-            result = fn(*task)
+            result = _invoke()
     finally:
         if token is not None:
             obs_trace.reset_trace_id(token)
@@ -135,6 +159,10 @@ def _run_task(fn: Callable, trace_id: Optional[str], profile: bool, *task):
     phase_tree = obs_phases.snapshot()
     if phase_tree is not None:
         harvest["phases"] = phase_tree
+    if traced:
+        shipped = obs_spans.get_recorder().take_trace(trace_id)
+        if shipped:
+            harvest["spans"] = [s.to_dict() for s in shipped]
     return result, harvest or None
 
 
@@ -302,24 +330,32 @@ class ParallelRuntime:
             return []
         trace_id = obs_trace.current_trace_id()
         profile = obs_phases.enabled()
-        futures = [
-            pool.submit(_run_task, fn, trace_id, profile, *task)
-            for task in tasks
-        ]
-        try:
-            results: List[object] = []
-            for future in futures:
-                result, harvest = future.result()
-                if harvest:
-                    snap = harvest.get("metrics")
-                    if snap:
-                        obs_metrics.get_registry().merge_snapshot(snap)
-                    obs_phases.merge_tree(harvest.get("phases"))
-                results.append(result)
-            return results
-        finally:
-            for future in futures:
-                future.cancel()
+        name = getattr(fn, "__name__", "task")
+        with obs_spans.trace_span(f"pool dispatch:{name}", tasks=len(tasks)) as dspan:
+            parent_span = (
+                dspan.span_id if isinstance(dspan, obs_spans.Span) else None
+            )
+            futures = [
+                pool.submit(_run_task, fn, trace_id, profile, parent_span, *task)
+                for task in tasks
+            ]
+            try:
+                results: List[object] = []
+                for future in futures:
+                    result, harvest = future.result()
+                    if harvest:
+                        snap = harvest.get("metrics")
+                        if snap:
+                            obs_metrics.get_registry().merge_snapshot(snap)
+                        obs_phases.merge_tree(harvest.get("phases"))
+                        worker_spans = harvest.get("spans")
+                        if worker_spans:
+                            obs_spans.get_recorder().import_spans(worker_spans)
+                    results.append(result)
+                return results
+            finally:
+                for future in futures:
+                    future.cancel()
 
     def shard_ranges(
         self, n: int, *, chunks_per_worker: Optional[int] = None

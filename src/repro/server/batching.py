@@ -30,6 +30,7 @@ import asyncio
 import json
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 
 Query = Dict[str, object]
@@ -149,7 +150,10 @@ class QueryCoalescer:
         shared = self._inflight.get(key)
         if shared is not None:
             self._merged += 1
-            return await asyncio.shield(shared)
+            # The fold span measures how long this rider waited on the
+            # shared in-flight computation it merged onto.
+            with obs_spans.trace_span("coalescer fold", merged=True, queries=len(queries)):
+                return await asyncio.shield(shared)
 
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -162,7 +166,8 @@ class QueryCoalescer:
             self._flush_now(dataset, runner)
         elif pending.task is None:
             pending.task = loop.create_task(self._window_flush(dataset, runner))
-        return await asyncio.shield(future)
+        with obs_spans.trace_span("coalescer fold", merged=False, queries=len(queries)):
+            return await asyncio.shield(future)
 
     def stats(self) -> Dict[str, object]:
         """Counter snapshot for ``/metrics``."""
@@ -208,7 +213,13 @@ class QueryCoalescer:
         self._flushes += 1
         self._queries_flushed += len(flat)
         try:
-            results, version = await runner(flat)
+            # The flush task's context was copied from the submission that
+            # opened the window, so this span lands in the opener's trace
+            # (nested under its fold span via the shared state cursor).
+            with obs_spans.trace_span(
+                "coalescer flush", submissions=len(items), queries=len(flat)
+            ):
+                results, version = await runner(flat)
         except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
             for key, _, future in items:
                 self._inflight.pop((dataset, key), None)

@@ -15,6 +15,9 @@ Endpoints
 ``/healthz``                          GET     liveness + hosted dataset count
 ``/metrics``                          GET     counters, cache info, versions
 ``/datasets``                         GET     hosted datasets summary
+``/debug/vars``                       GET     statusz snapshot (versions, RSS, ...)
+``/debug/traces``                     GET     recent + slowest retained traces
+``/debug/traces/{id}``                GET     span waterfall (``?format=chrome``)
 ``/{ds}/stats``                       GET     :meth:`QueryEngine.stats`
 ``/{ds}/histogram``                   GET     :meth:`QueryEngine.phi_histogram`
 ``/{ds}/community?k=&upper=|lower=``  GET     :meth:`QueryEngine.community`
@@ -33,7 +36,11 @@ request can never poison the answers of the requests it coalesced with.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
+import os
+import re
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
@@ -44,7 +51,9 @@ import numpy as np
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import phases as obs_phases
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
+from repro.obs.store import TraceStore
 from repro.server.batching import QueryCoalescer, SharedResult
 from repro.server.registry import ArtifactRegistry, UnknownDatasetError
 from repro.server.updates import MutationError, UpdateManager
@@ -54,6 +63,37 @@ _LOG = obs_log.get_logger("server")
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Content type of the OpenMetrics exposition (exemplar-capable).
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Inbound ``X-Trace-Id`` values we adopt (and echo back).  Anything else
+#: — overlong, non-hex, control characters — gets a freshly minted id, so
+#: a client can neither inject bytes into response headers nor grow them
+#: without bound.
+_TRACE_ID_RE = re.compile(r"[0-9a-f]{1,64}")
+
+
+def _rss_bytes() -> Optional[int]:
+    """Resident set size of this process, or None where unreadable."""
+    try:
+        with open("/proc/self/statm") as fh:
+            return int(fh.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _max_rss_bytes() -> Optional[int]:
+    try:
+        import resource
+
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        scale = 1 if sys.platform == "darwin" else 1024
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
+    except (ImportError, ValueError):  # pragma: no cover - non-posix
+        return None
 
 #: Engine ops reachable over the wire, with their allowed parameter keys.
 _QUERY_OPS: Dict[str, frozenset] = {
@@ -187,6 +227,7 @@ class BitrussServer:
         executor_threads: int = 4,
         max_body: int = 8 << 20,
         slow_query_s: Optional[float] = None,
+        trace_sample: Optional[float] = None,
     ) -> None:
         self.registry = registry
         self.host = host
@@ -194,6 +235,17 @@ class BitrussServer:
         self.updates = updates
         self.max_body = max_body
         self.slow_query_s = slow_query_s
+        # The always-on tracing plane: the process-global span recorder
+        # assembles per-request spans; completed traces that survive
+        # sampling land in the store behind /debug/traces.
+        self._recorder = obs_spans.get_recorder()
+        self.trace_store = TraceStore()
+        if trace_sample is not None:
+            obs_spans.configure(sample=trace_sample)
+        if slow_query_s is not None and slow_query_s > 0:
+            # Tail promotion tracks the slow-query threshold: any request
+            # the slow log would flag is also guaranteed inspectable.
+            obs_spans.configure(slow_s=slow_query_s)
         self.coalescer = (
             QueryCoalescer(window=window, max_batch=max_batch)
             if coalesce
@@ -414,20 +466,35 @@ class BitrussServer:
 
     @staticmethod
     def _endpoint_of(target: str) -> Tuple[str, str]:
-        """(endpoint, dataset) metric labels for a request target."""
+        """(endpoint, dataset) metric labels for a request target.
+
+        ``/debug/*`` routes collapse to two-segment labels
+        (``debug/traces``, ``debug/vars``) so per-trace ids never become
+        metric label values.
+        """
         segments = [s for s in urlsplit(target).path.split("/") if s]
+        if segments and segments[0] == "debug":
+            return "/".join(segments[:2]), ""
         endpoint = segments[-1] if segments else "index"
         dataset = segments[0] if len(segments) == 2 else ""
         return endpoint, dataset
 
-    def _wants_prometheus(self, headers: Dict[str, str], target: str) -> bool:
-        """Content negotiation for ``/metrics``: query param or Accept."""
+    def _metrics_format(self, headers: Dict[str, str], target: str) -> str:
+        """Content negotiation for ``/metrics``: query param or Accept.
+
+        Returns ``"json"`` (the legacy payload), ``"prometheus"`` (text
+        exposition) or ``"openmetrics"`` (exposition + exemplars + EOF).
+        """
         params = parse_qs(urlsplit(target).query)
         fmt = params.get("format", [""])[-1].lower()
         if fmt:
-            return fmt == "prometheus"
+            return fmt if fmt in ("prometheus", "openmetrics") else "json"
         accept = headers.get("accept", "")
-        return "text/plain" in accept and "application/json" not in accept
+        if "application/openmetrics-text" in accept:
+            return "openmetrics"
+        if "text/plain" in accept and "application/json" not in accept:
+            return "prometheus"
+        return "json"
 
     async def _serve_one(
         self, method: str, target: str, headers: Dict[str, str], body: bytes
@@ -436,19 +503,48 @@ class BitrussServer:
         self._requests_total += 1
         self._active += 1
         endpoint, dataset = self._endpoint_of(target)
-        trace_id = headers.get("x-trace-id") or obs_trace.new_trace_id()
+        raw_tid = headers.get("x-trace-id", "")
+        trace_id = (
+            raw_tid if _TRACE_ID_RE.fullmatch(raw_tid) else obs_trace.new_trace_id()
+        )
         token = obs_trace.set_trace_id(trace_id)
+        # Self-inspection traffic (scrapes, /debug/*) is never traced, so
+        # the recorder and trace store only ever hold real query traffic.
+        traced = endpoint != "metrics" and not endpoint.startswith("debug/")
+        root_ctx = root_span = None
+        if traced:
+            root_ctx = obs_spans.trace_span(
+                f"{method} {urlsplit(target).path}",
+                endpoint=endpoint,
+                dataset=dataset,
+                method=method,
+            )
+            entered = root_ctx.__enter__()
+            if isinstance(entered, obs_spans.Span):
+                root_span = entered
         start = time.perf_counter()
         status = 200
         ctype = "application/json"
         try:
-            if endpoint == "metrics" and self._wants_prometheus(headers, target):
+            fmt = (
+                self._metrics_format(headers, target)
+                if endpoint == "metrics"
+                else "json"
+            )
+            if fmt != "json":
                 self._require(method, "GET", "/metrics")
                 self._by_endpoint["metrics"] = (
                     self._by_endpoint.get("metrics", 0) + 1
                 )
-                payload = self.metrics_prometheus().encode("utf-8")
-                ctype = PROMETHEUS_CONTENT_TYPE
+                openmetrics = fmt == "openmetrics"
+                payload = self.metrics_prometheus(
+                    openmetrics=openmetrics
+                ).encode("utf-8")
+                ctype = (
+                    OPENMETRICS_CONTENT_TYPE
+                    if openmetrics
+                    else PROMETHEUS_CONTENT_TYPE
+                )
             else:
                 payload = await self._route(method, target, body)
             return status, payload, ctype, trace_id
@@ -478,6 +574,13 @@ class BitrussServer:
             return status, _dumps(err.payload()), "application/json", trace_id
         finally:
             self._active -= 1
+            if root_ctx is not None:
+                if root_span is not None:
+                    root_span.attrs["status"] = status
+                root_ctx.__exit__(None, None, None)
+                retained = self._recorder.finish_trace(trace_id)
+                if retained:
+                    self.trace_store.add(retained)
             self._record_request(
                 endpoint, dataset, time.perf_counter() - start, status
             )
@@ -488,16 +591,22 @@ class BitrussServer:
     ) -> None:
         """Account one finished request in the HTTP series registry.
 
-        Scrapes of ``/metrics`` are counted as requests but excluded from
-        the latency histogram and the slow-query log, so monitoring can
-        never perturb the latency signal it reports.
+        Scrapes of ``/metrics`` and hits on ``/debug/*`` are counted as
+        requests but excluded from the latency histogram and the
+        slow-query log, so self-inspection can never perturb the latency
+        signal it reports.
         """
         self._m_requests.inc(labels=(endpoint, dataset))
         if status >= 400:
             self._m_errors.inc(labels=(endpoint,))
-        if endpoint == "metrics":
+        if endpoint == "metrics" or endpoint.startswith("debug/"):
             return
-        self._m_latency.observe(elapsed, labels=(endpoint,))
+        trace_id = obs_trace.current_trace_id()
+        self._m_latency.observe(
+            elapsed,
+            labels=(endpoint,),
+            exemplar={"trace_id": trace_id} if trace_id else None,
+        )
         if self.slow_query_s is not None and elapsed >= self.slow_query_s:
             obs_log.log_slow_query(
                 endpoint=endpoint,
@@ -514,10 +623,12 @@ class BitrussServer:
             key: values[-1] for key, values in parse_qs(split.query).items()
         }
         segments = [s for s in split.path.split("/") if s]
-        self._by_endpoint["/".join(segments[-1:]) or "index"] = (
-            self._by_endpoint.get("/".join(segments[-1:]) or "index", 0) + 1
-        )
+        # Bounded-cardinality endpoint label (never a raw trace id).
+        label, _ = self._endpoint_of(target)
+        self._by_endpoint[label] = self._by_endpoint.get(label, 0) + 1
 
+        if segments and segments[0] == "debug":
+            return self._route_debug(method, segments, params)
         if not segments:
             self._require(method, "GET", "/")
             return _dumps(self._index_payload())
@@ -550,6 +661,78 @@ class BitrussServer:
             f"no route /{{ds}}/{op}; choose from stats, histogram, "
             "community, max_k, hierarchy_path, batch, edges",
         )
+
+    def _route_debug(
+        self, method: str, segments: List[str], params: Dict[str, str]
+    ) -> bytes:
+        """The ``/debug/*`` plane: live traces and a statusz snapshot."""
+        if segments == ["debug", "vars"]:
+            self._require(method, "GET", "/debug/vars")
+            return _dumps(jsonify(self.debug_vars()))
+        if len(segments) >= 2 and segments[1] == "traces":
+            if len(segments) == 2:
+                self._require(method, "GET", "/debug/traces")
+                endpoint = params.get("endpoint")
+                dataset = params.get("dataset")
+                limit = self._int_param(params, "limit") or 20
+                payload = {
+                    "recent": [
+                        r.summary()
+                        for r in self.trace_store.recent_traces(
+                            endpoint=endpoint, dataset=dataset, limit=limit
+                        )
+                    ],
+                    "slowest": [
+                        r.summary()
+                        for r in self.trace_store.slowest_traces(
+                            endpoint=endpoint, dataset=dataset, limit=limit
+                        )
+                    ],
+                    "rollups": self.trace_store.rollups(),
+                    "recorder": self._recorder.stats(),
+                    "store": self.trace_store.stats(),
+                }
+                return _dumps(jsonify(payload))
+            if len(segments) == 3:
+                self._require(method, "GET", "/debug/traces/{id}")
+                record = self.trace_store.get(segments[2])
+                if record is None:
+                    raise HTTPError(
+                        404,
+                        "unknown_trace",
+                        f"no retained trace {segments[2]!r}; the store keeps "
+                        f"the last {self.trace_store.recent_capacity} traces "
+                        f"plus the {self.trace_store.slowest_capacity} slowest",
+                    )
+                if params.get("format", "").lower() == "chrome":
+                    return _dumps(record.chrome())
+                return _dumps(jsonify(record.waterfall()))
+        raise HTTPError(
+            404,
+            "unknown_route",
+            "no such debug route; choose from /debug/traces, "
+            "/debug/traces/{id}, /debug/vars",
+        )
+
+    def debug_vars(self) -> Dict[str, object]:
+        """The ``/debug/vars`` statusz snapshot (also handy in-process)."""
+        data = self.metrics()
+        return {
+            **data,
+            "registry_versions": {
+                entry.name: entry.version for entry in self.registry
+            },
+            "process": {
+                "pid": os.getpid(),
+                "python": sys.version.split()[0],
+                "rss_bytes": _rss_bytes(),
+                "max_rss_bytes": _max_rss_bytes(),
+            },
+            "tracing": {
+                "recorder": self._recorder.stats(),
+                "store": self.trace_store.stats(),
+            },
+        }
 
     def _require(self, method: str, expected: str, route: str) -> None:
         if method != expected:
@@ -736,7 +919,13 @@ class BitrussServer:
                 with entry.lock:
                     return engine.batch(queries)
 
-            results = await loop.run_in_executor(self._executor, _call)
+            # run_in_executor does not carry contextvars across the thread
+            # hop; copy the context so the engine's spans keep their trace
+            # id and parent under the request (or flush) span.
+            ctx = contextvars.copy_context()
+            results = await loop.run_in_executor(
+                self._executor, lambda: ctx.run(_call)
+            )
             return results, lease.version
 
     async def _answer_single(
@@ -845,6 +1034,9 @@ class BitrussServer:
                 "/healthz",
                 "/metrics",
                 "/datasets",
+                "/debug/vars",
+                "/debug/traces",
+                "/debug/traces/{id}",
                 "/{ds}/stats",
                 "/{ds}/histogram",
                 "/{ds}/community?k=&upper=|lower=",
@@ -893,14 +1085,16 @@ class BitrussServer:
             payload["profile"] = obs_phases.tree()
         return payload
 
-    def metrics_prometheus(self) -> str:
+    def metrics_prometheus(self, *, openmetrics: bool = False) -> str:
         """The Prometheus text exposition of everything ``metrics()`` knows.
 
         Built fresh per scrape: the server's live HTTP series and the
         process-global library registry are merged into a scratch
         registry, then the legacy JSON payload's derived signals
         (versions, cache hit rates, coalescer fold ratio, update
-        counters) are synthesized on top as gauges/counters.
+        counters) are synthesized on top as gauges/counters.  With
+        ``openmetrics=True`` histogram buckets carry trace-id exemplars
+        and the output ends with the ``# EOF`` terminator.
         """
         reg = obs_metrics.MetricsRegistry()
         reg.merge_snapshot(obs_metrics.get_registry().snapshot())
@@ -1004,7 +1198,7 @@ class BitrussServer:
             for name, entry in upd.items():
                 for key, fam in fams.items():
                     fam.set_to(entry.get(key, 0) or 0, (name,))
-        return reg.to_prometheus()
+        return reg.to_prometheus(openmetrics=openmetrics)
 
     def __repr__(self) -> str:
         return (

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.core.result import BitrussDecomposition
 from repro.graph.bipartite import BipartiteGraph
-from repro.obs import trace as obs_trace
+from repro.obs import spans as obs_spans
 from repro.service.artifacts import (
     DecompositionArtifact,
     StaleArtifactError,
@@ -84,7 +84,7 @@ class QueryEngine:
         self.artifact = artifact
         self.graph: BipartiteGraph = artifact.graph
         self.phi: np.ndarray = artifact.phi
-        with obs_trace.span("hierarchy build"):
+        with obs_spans.span("hierarchy build"):
             self.hierarchy: BitrussHierarchy = build_hierarchy(
                 artifact.graph, artifact.phi
             )
@@ -457,7 +457,7 @@ class QueryEngine:
             "phi_of": self.phi_of,
         }
         results: List[object] = []
-        with obs_trace.span("engine batch"):
+        with obs_spans.span("engine batch", queries=len(queries)):
             for query in queries:
                 params = dict(query)
                 op = params.pop("op", None)
@@ -467,7 +467,8 @@ class QueryEngine:
                     )
                 if op == "hierarchy_path" and "edge" in params:
                     params["edge"] = tuple(params["edge"])  # JSON lists arrive
-                results.append(dispatch[op](**params))
+                with obs_spans.trace_span(f"query:{op}"):
+                    results.append(dispatch[op](**params))
         return results
 
     def __repr__(self) -> str:

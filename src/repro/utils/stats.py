@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.obs import phases as _obs_phases
+from repro.obs import spans as _obs_spans
 
 
 class UpdateCounter:
@@ -130,9 +130,10 @@ class _PhaseContext:
 
     def __enter__(self) -> "_PhaseContext":
         # Every timer.time(...) site also feeds the structured phase
-        # profiler when it is enabled, so instrumented algorithms show
-        # up in the profile tree without duplicate call sites.
-        self._span = _obs_phases.phase(self._phase)
+        # profiler (when enabled) and the span recorder (when inside a
+        # trace), so instrumented algorithms show up in the profile tree
+        # and in request waterfalls without duplicate call sites.
+        self._span = _obs_spans.span(self._phase)
         self._span.__enter__()
         self._start = time.perf_counter()
         return self

@@ -12,6 +12,7 @@ import asyncio
 import json
 import logging
 import pickle
+import re
 import subprocess
 import sys
 import time
@@ -541,14 +542,33 @@ class TestServerObservability:
     def test_trace_id_header_echoed_and_generated(self, fig4_artifact):
         async def scenario():
             async with make_server(fig4_artifact) as server:
+                # Well-formed client ids (lowercase hex, <= 64 chars) are
+                # adopted and echoed back.
                 _, hdrs, _ = await raw_http(
                     server.port, "GET", "/fig4/stats",
-                    headers={"X-Trace-Id": "client-chosen"},
+                    headers={"X-Trace-Id": "c11e47c405e4"},
                 )
-                assert hdrs["x-trace-id"] == "client-chosen"
+                assert hdrs["x-trace-id"] == "c11e47c405e4"
                 _, hdrs, _ = await raw_http(server.port, "GET", "/fig4/stats")
                 generated = hdrs["x-trace-id"]
-                assert generated and generated != "client-chosen"
+                assert generated and generated != "c11e47c405e4"
+
+        run(scenario())
+
+    def test_trace_id_header_validated_before_echo(self, fig4_artifact):
+        async def scenario():
+            async with make_server(fig4_artifact) as server:
+                # Non-hex, overlong or otherwise malformed ids are never
+                # echoed back (response-header injection hygiene); the
+                # server mints a fresh id instead.
+                for bad in ("client-chosen", "ABCDEF", "a" * 65, "x" * 9000):
+                    _, hdrs, _ = await raw_http(
+                        server.port, "GET", "/fig4/stats",
+                        headers={"X-Trace-Id": bad},
+                    )
+                    minted = hdrs["x-trace-id"]
+                    assert minted != bad
+                    assert re.fullmatch(r"[0-9a-f]{16}", minted)
 
         run(scenario())
 
@@ -568,7 +588,7 @@ class TestServerObservability:
                 async with make_server(fig4_artifact, slow_query_s=0.0) as server:
                     await raw_http(
                         server.port, "GET", "/fig4/stats",
-                        headers={"X-Trace-Id": "slow-one"},
+                        headers={"X-Trace-Id": "510fabe1"},
                     )
                     await raw_http(server.port, "GET", "/metrics")
 
@@ -580,7 +600,7 @@ class TestServerObservability:
         assert record.levelno == logging.WARNING
         assert record.endpoint == "stats"
         assert record.dataset == "fig4"
-        assert record.trace_id == "slow-one"
+        assert record.trace_id == "510fabe1"
         assert "slow query" in record.getMessage()
 
     def test_no_slow_log_when_disabled(self, fig4_artifact):
