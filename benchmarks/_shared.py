@@ -7,17 +7,19 @@ Fig. 11 index sizes come from the same decompositions) pay for them once.
 
 Each bench writes its series to ``benchmarks/results/<figure>.txt`` in the
 same rows/columns the paper reports, so EXPERIMENTS.md can quote them
-directly.
+directly — and every bench additionally :func:`publish`\\ es a schema'd
+:class:`repro.obs.bench.BenchResult` (named metrics, contract pass/fails,
+an environment fingerprint) to the canonical ``BENCH_<name>.json``, its
+repo-root copy, and the longitudinal ``benchmarks/results/trajectory.jsonl``
+that ``repro-bitruss bench diff`` gates regressions against.
 """
 
 from __future__ import annotations
 
-import resource
-import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,10 +34,21 @@ from repro.core import (
 )
 from repro.datasets import dataset_spec, load_dataset
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import bench as obs_bench
 from repro.obs import phases as obs_phases
+from repro.obs.bench import BenchResult, Contract, Metric, peak_rss_bytes
 from repro.utils.stats import UpdateCounter
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = RESULTS_DIR / "trajectory.jsonl"
+
+#: RSS high-water mark right after this module's (heavy) imports.  Peak-RSS
+#: metrics subtract it so interpreter + numpy overhead cancels and the
+#: reported number is the bench's own footprint — absolute ``ru_maxrss``
+#: made cross-run comparison meaningless (the absolute value still lands in
+#: each result's ``EnvFingerprint``).
+_RSS_BASELINE_BYTES = peak_rss_bytes()
 
 #: Fig. 7 buckets the update counts by the edge's original butterfly
 #: support.  The paper uses absolute bounds (5000/10000/15000/20000) on
@@ -157,16 +170,13 @@ def profiled(fn):
     return result, {"wall_seconds": wall, "tree": tree}
 
 
-def peak_rss_bytes() -> int:
-    """High-water resident set size of this process, in bytes.
+def peak_rss_delta_bytes() -> int:
+    """Peak RSS growth since this module finished importing, in bytes.
 
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise so
-    the benches can record one comparable column everywhere.
+    The process high-water mark minus the post-import baseline: the part
+    of the footprint the bench itself is responsible for.  Never negative.
     """
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":
-        return int(rss)
-    return int(rss) * 1024
+    return max(0, peak_rss_bytes() - _RSS_BASELINE_BYTES)
 
 
 def bs_allowed(dataset: str) -> bool:
@@ -174,11 +184,81 @@ def bs_allowed(dataset: str) -> bool:
     return dataset_spec(dataset).bs_friendly
 
 
-def write_result(figure: str, lines: List[str]) -> str:
-    """Write a figure's series to ``benchmarks/results/<figure>.txt``."""
+def make_result(
+    bench: str,
+    *,
+    metrics: Sequence[Metric] = (),
+    contracts: Sequence[Contract] = (),
+    payload: Optional[Dict[str, object]] = None,
+    include_rss: bool = True,
+) -> BenchResult:
+    """Assemble a :class:`BenchResult` with the current env fingerprint.
+
+    Unless disabled, a ``peak_rss_delta_bytes`` metric (direction
+    ``lower``) is appended automatically so every bench records its own
+    memory footprint without per-module boilerplate.
+    """
+    metric_list = list(metrics)
+    if include_rss and not any(m.name == "peak_rss_delta_bytes" for m in metric_list):
+        metric_list.append(
+            Metric(
+                name="peak_rss_delta_bytes",
+                value=float(peak_rss_delta_bytes()),
+                unit="bytes",
+                direction="lower",
+            )
+        )
+    return BenchResult(
+        bench=bench,
+        metrics=metric_list,
+        contracts=list(contracts),
+        env=obs_bench.get_fingerprint(refresh=True),
+        payload=dict(payload or {}),
+    )
+
+
+def publish(result: BenchResult) -> Path:
+    """Publish a result to all three sinks the trajectory plane reads.
+
+    Canonical ``benchmarks/results/BENCH_<name>.json``, a repo-root copy
+    (ROADMAP and external tooling read the root), and one appended line in
+    ``benchmarks/results/trajectory.jsonl``.
+    """
+    return obs_bench.publish(
+        result,
+        RESULTS_DIR,
+        root_dir=REPO_ROOT,
+        trajectory_path=TRAJECTORY_PATH,
+    )
+
+
+def write_result(
+    figure: str,
+    lines: List[str],
+    *,
+    bench: Optional[str] = None,
+    metrics: Sequence[Metric] = (),
+    contracts: Sequence[Contract] = (),
+    payload: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write a figure's series to ``benchmarks/results/<figure>.txt``.
+
+    When ``bench`` is given, additionally :func:`publish` a schema'd
+    result carrying ``metrics``/``contracts`` (the rendered lines ride
+    along in the payload) so the text-only figure benches join the
+    trajectory without restructuring their rendering code.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines) + "\n"
     (RESULTS_DIR / f"{figure}.txt").write_text(text)
+    if bench is not None:
+        doc = dict(payload or {})
+        doc.setdefault("figure", figure)
+        publish(
+            make_result(
+                bench, metrics=metrics, contracts=contracts, payload=doc
+            )
+        )
     return text
 
 

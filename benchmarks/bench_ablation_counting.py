@@ -18,7 +18,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._shared import format_table, write_result
+from benchmarks._shared import Contract, Metric, format_table, write_result
 from repro.butterfly.counting import count_per_edge, count_per_edge_naive
 from repro.butterfly.vectorized import count_per_edge_vectorized
 from repro.graph.generators import chung_lu_bipartite, erdos_renyi_bipartite
@@ -88,4 +88,26 @@ def test_counting_ablation_report(benchmark):
         "",
     ]
     lines += format_table(["graph"] + list(COUNTERS), rows)
-    print("\n" + write_result("ablation_counting", lines))
+    metrics = [
+        Metric(f"{counter}_seconds_{name}", times[counter], "seconds", "lower")
+        for name, times in table.items()
+        for counter in ("scalar", "vectorized")
+    ]
+    worst_edge = min(
+        times["naive"] / max(times["scalar"], 1e-9)
+        for times in table.values()
+    )
+    print(
+        "\n"
+        + write_result(
+            "ablation_counting",
+            lines,
+            bench="ablation_counting",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "scalar_beats_naive", worst_edge > 1.0, 1.0, worst_edge
+                )
+            ],
+        )
+    )

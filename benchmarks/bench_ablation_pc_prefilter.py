@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from benchmarks._shared import format_table, write_result
+from benchmarks._shared import Contract, Metric, format_table, write_result
 from repro.core import bit_pc
 from repro.datasets import load_dataset
 from repro.utils.stats import UpdateCounter
@@ -78,4 +78,26 @@ def test_prefilter_ablation_report(benchmark):
          "1-pass s", "fixpoint s"],
         rows,
     )
-    print("\n" + write_result("ablation_pc_prefilter", lines))
+    metrics = [
+        Metric(f"fixpoint_updates_{name}", float(fix[1]), "count", "fixed")
+        for name, (fix, _one) in table.items()
+    ] + [
+        Metric(f"single_pass_updates_{name}", float(one[1]), "count", "fixed")
+        for name, (_fix, one) in table.items()
+    ]
+    passed = all(fix[1] <= one[1] for fix, one in table.values())
+    print(
+        "\n"
+        + write_result(
+            "ablation_pc_prefilter",
+            lines,
+            bench="ablation_pc_prefilter",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "fixpoint_never_more_updates", passed, 1.0,
+                    1.0 if passed else 0.0,
+                )
+            ],
+        )
+    )

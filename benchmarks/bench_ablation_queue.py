@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from benchmarks._shared import format_table, write_result
+from benchmarks._shared import Metric, format_table, write_result
 from repro.core import bit_bu
 from repro.datasets import load_dataset
 from repro.utils.bucket_queue import LazyMinHeap
@@ -65,4 +65,17 @@ def test_queue_ablation_report(benchmark):
         "",
     ]
     lines += format_table(["dataset", "bucket s", "heap s", "heap/bucket"], rows)
-    print("\n" + write_result("ablation_queue", lines))
+    metrics = [
+        Metric(f"bucket_seconds_{name}", bucket[0], "seconds", "lower")
+        for name, (bucket, _heap) in table.items()
+    ] + [
+        Metric(f"heap_over_bucket_{name}", heap[0] / max(bucket[0], 1e-9),
+               "ratio", "higher")
+        for name, (bucket, heap) in table.items()
+    ]
+    print(
+        "\n"
+        + write_result(
+            "ablation_queue", lines, bench="ablation_queue", metrics=metrics
+        )
+    )

@@ -19,9 +19,11 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 from repro.core import bit_bu, bit_bu_csr
 from repro.graph.generators import nested_communities
+
+BENCH_TIER = "smoke"
 
 #: The dense generator workload: three nested blocks of increasing density
 #: plus uniform noise, the structure that produces deep bitruss hierarchies
@@ -120,4 +122,25 @@ def test_csr_peeling_report(benchmark):
          "CSR phi_max"],
         rows,
     )
-    print("\n" + write_result("csr_peeling", lines))
+    dense = table["dense-nested"]
+    dense_speedup = dense["BU"].seconds / max(dense["BU-CSR"].seconds, 1e-9)
+    metrics = [
+        Metric("bu_dense_seconds", dense["BU"].seconds, "seconds", "lower"),
+        Metric("csr_dense_seconds", dense["BU-CSR"].seconds, "seconds", "lower"),
+        Metric("csr_dense_speedup", dense_speedup, "ratio", "higher"),
+        Metric("dense_phi_max", float(dense["BU-CSR"].phi_max), "count", "fixed"),
+    ]
+    print(
+        "\n"
+        + write_result(
+            "csr_peeling",
+            lines,
+            bench="csr_peeling",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "csr_2x_on_dense", dense_speedup >= 2.0, 2.0, dense_speedup
+                )
+            ],
+        )
+    )

@@ -8,7 +8,7 @@ assigned edges out of later indexes.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 
 DATASETS = ("github", "d-label", "d-style", "wiki-it")
 ALGOS = ("BU", "BU++", "PC")
@@ -55,4 +55,25 @@ def test_fig10_report(benchmark):
     lines += format_table(
         ["dataset", "BU", "BU++", "PC", "PC cut vs BU"], rows
     )
-    print("\n" + write_result("fig10", lines))
+    metrics = [
+        Metric(f"{algo.lower().replace('+', 'p')}_updates_{d}",
+               float(table[d][algo].updates), "count", "fixed")
+        for d in DATASETS
+        for algo in ALGOS
+    ]
+    worst_cut = min(
+        1 - table[d]["PC"].updates / max(table[d]["BU"].updates, 1)
+        for d in DATASETS
+    )
+    print(
+        "\n"
+        + write_result(
+            "fig10",
+            lines,
+            bench="fig10_updates",
+            metrics=metrics,
+            contracts=[
+                Contract("pc_cut_vs_bu_over_50pct", worst_cut > 0.5, 0.5, worst_cut)
+            ],
+        )
+    )

@@ -8,7 +8,7 @@ candidate subgraph omits both low-support edges and already-assigned edges.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 
 DATASETS = ("github", "d-label", "d-style", "wiki-it")
 ALGOS = ("BU", "BU++", "PC")
@@ -53,4 +53,25 @@ def test_fig11_report(benchmark):
     lines += format_table(
         ["dataset", "BU KiB", "BU++ KiB", "PC KiB", "BU/PC"], rows
     )
-    print("\n" + write_result("fig11", lines))
+    metrics = [
+        Metric(f"{algo.lower().replace('+', 'p')}_index_peak_bytes_{d}",
+               float(table[d][algo].index_peak_bytes), "bytes", "fixed")
+        for d in DATASETS
+        for algo in ("BU", "PC")
+    ]
+    worst_ratio = min(
+        table[d]["BU"].index_peak_bytes / max(table[d]["PC"].index_peak_bytes, 1)
+        for d in DATASETS
+    )
+    print(
+        "\n"
+        + write_result(
+            "fig11",
+            lines,
+            bench="fig11_index_size",
+            metrics=metrics,
+            contracts=[
+                Contract("pc_index_smaller_than_bu", worst_ratio > 1.0, 1.0, worst_ratio)
+            ],
+        )
+    )

@@ -10,7 +10,7 @@ scalable — no blow-up), and the relative ordering at 100% matches Fig. 9.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Metric, format_table, run_algorithm, write_result
 from repro.datasets import load_dataset
 from repro.graph.sampling import nested_sample_fractions
 
@@ -71,4 +71,19 @@ def test_fig12_report(benchmark):
         ]
         lines += format_table(["sample", "|E|", "BU", "BU++", "PC"], body)
         lines.append("")
-    print("\n" + write_result("fig12", lines))
+    metrics = [
+        Metric(f"sample_edges_{name}_{int(f * 100)}pct", float(m),
+               "count", "fixed")
+        for name, rows in table.items()
+        for f, m, _ in rows
+    ] + [
+        Metric(f"bupp_full_seconds_{name}", rows[-1][2]["BU++"],
+               "seconds", "lower")
+        for name, rows in table.items()
+    ]
+    print(
+        "\n"
+        + write_result(
+            "fig12", lines, bench="fig12_scalability", metrics=metrics
+        )
+    )

@@ -8,7 +8,7 @@ processing further enhances performance.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 
 DATASETS = ("github", "d-label", "d-style", "wiki-it")
 ALGOS = ("BU", "BU+", "BU++")
@@ -57,4 +57,27 @@ def test_fig13_report(benchmark):
          "BU upd", "BU+ upd", "BU++ upd"],
         rows,
     )
-    print("\n" + write_result("fig13", lines))
+    metrics = [
+        Metric(f"{algo.lower().replace('+', 'p')}_updates_{name}",
+               float(recs[algo].updates), "count", "fixed")
+        for name, recs in table.items()
+        for algo in ALGOS
+    ]
+    worst_cut = min(
+        recs["BU"].updates / max(recs["BU+"].updates, 1)
+        for recs in table.values()
+    )
+    print(
+        "\n"
+        + write_result(
+            "fig13",
+            lines,
+            bench="fig13_batch_opts",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "batch_edges_cut_updates", worst_cut > 1.0, 1.0, worst_cut
+                )
+            ],
+        )
+    )

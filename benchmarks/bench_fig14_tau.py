@@ -9,7 +9,7 @@ large τ pays extra updates; the paper recommends τ in 0.05–0.2.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 
 DATASETS = ("github", "d-label", "d-style", "wiki-it")
 TAUS = (0.02, 0.05, 0.1, 0.2, 1.0)
@@ -54,4 +54,30 @@ def test_fig14_report(benchmark):
         for name, recs in table.items()
     ]
     lines += format_table(["dataset"] + [str(t) for t in TAUS], rows)
-    print("\n" + write_result("fig14", lines))
+    metrics = [
+        Metric(
+            f"pc_updates_{name}_tau{str(tau).replace('.', '_')}",
+            float(recs[tau].updates), "count", "fixed",
+        )
+        for name, recs in table.items()
+        for tau in (0.02, 1.0)
+    ]
+    worst_ratio = min(
+        recs[1.0].updates / max(recs[0.02].updates, 1)
+        for recs in table.values()
+    )
+    print(
+        "\n"
+        + write_result(
+            "fig14",
+            lines,
+            bench="fig14_tau",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "updates_grow_with_tau", worst_ratio >= 1.0,
+                    1.0, worst_ratio,
+                )
+            ],
+        )
+    )

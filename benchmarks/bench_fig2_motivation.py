@@ -15,10 +15,12 @@ import time
 
 import pytest
 
-from benchmarks._shared import format_table, write_result
+from benchmarks._shared import Contract, Metric, format_table, write_result
 from repro.butterfly.enumeration import butterflies_containing_edge
 from repro.graph.generators import hub_edge_example
 from repro.index.be_index import BEIndex
+
+BENCH_TIER = "smoke"
 
 FANS = (100, 200, 400, 800)
 
@@ -81,4 +83,33 @@ def test_fig2_motivation(benchmark):
     lines += format_table(
         ["fan", "comb checks", "comb ms", "index links", "index us"], table
     )
-    print("\n" + write_result("fig2_motivation", lines))
+    growth = rows[-1]["comb_checks"] / max(rows[0]["comb_checks"], 1)
+    metrics = [
+        Metric(f"comb_checks_fan{r['fan']}", float(r["comb_checks"]),
+               "count", "fixed")
+        for r in rows
+    ] + [
+        Metric(f"index_links_fan{r['fan']}", float(r["index_links"]),
+               "count", "fixed")
+        for r in rows
+    ] + [
+        Metric("index_remove_seconds", rows[-1]["index_seconds"],
+               "seconds", "lower"),
+    ]
+    print(
+        "\n"
+        + write_result(
+            "fig2_motivation",
+            lines,
+            bench="fig2_motivation",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "comb_checks_quadratic_growth",
+                    growth >= 16 * 0.9,
+                    16 * 0.9,
+                    growth,
+                )
+            ],
+        )
+    )

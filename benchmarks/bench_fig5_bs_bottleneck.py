@@ -8,7 +8,7 @@ BE-Index attacks.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 
 DATASETS = ("github", "twitter", "d-label", "d-style")
 
@@ -48,4 +48,28 @@ def test_fig5_report(benchmark):
     lines += format_table(
         ["dataset", "counting(s)", "peeling(s)", "peel/count"], rows
     )
-    print("\n" + write_result("fig5", lines))
+    worst_ratio = min(
+        rec.timings.get("peeling", 0.0)
+        / max(rec.timings.get("counting", 0.0), 1e-9)
+        for rec in records.values()
+    )
+    metrics = [
+        Metric(f"bs_peeling_seconds_{name}",
+               rec.timings.get("peeling", 0.0), "seconds", "lower")
+        for name, rec in records.items()
+    ]
+    print(
+        "\n"
+        + write_result(
+            "fig5",
+            lines,
+            bench="fig5_bs_bottleneck",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "peeling_dominates_counting", worst_ratio > 1.0,
+                    1.0, worst_ratio,
+                )
+            ],
+        )
+    )

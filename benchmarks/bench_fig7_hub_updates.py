@@ -9,7 +9,7 @@ hub edge stops being updated the moment its bitruss number is assigned.
 
 import pytest
 
-from benchmarks._shared import format_table, run_algorithm, write_result
+from benchmarks._shared import Contract, Metric, format_table, run_algorithm, write_result
 from repro.datasets import HUB_SHOWCASE
 
 ALGOS = ("BU", "BU++", "PC")
@@ -52,4 +52,28 @@ def test_fig7_report(benchmark):
         "",
     ]
     lines += format_table(["support range"] + list(ALGOS), rows)
-    print("\n" + write_result("fig7", lines))
+    top = len(records["BU"].bucket_totals) - 1
+    hub_cut = records["BU"].bucket_totals[top] / max(
+        records["PC"].bucket_totals[top], 1
+    )
+    metrics = [
+        Metric(f"{a.lower().replace('+', 'p')}_total_updates",
+               float(records[a].updates), "count", "fixed")
+        for a in ALGOS
+    ] + [
+        Metric(f"{a.lower().replace('+', 'p')}_hub_bucket_updates",
+               float(records[a].bucket_totals[top]), "count", "fixed")
+        for a in ALGOS
+    ]
+    print(
+        "\n"
+        + write_result(
+            "fig7",
+            lines,
+            bench="fig7_hub_updates",
+            metrics=metrics,
+            contracts=[
+                Contract("pc_hub_cut_over_5x", hub_cut > 5.0, 5.0, hub_cut)
+            ],
+        )
+    )

@@ -14,7 +14,14 @@ machine-neutral update counts (Fig. 10) carry the PC comparison.
 
 import pytest
 
-from benchmarks._shared import bs_allowed, format_table, run_algorithm, write_result
+from benchmarks._shared import (
+    Contract,
+    Metric,
+    bs_allowed,
+    format_table,
+    run_algorithm,
+    write_result,
+)
 from repro.datasets import dataset_names
 
 ALGOS = ("BS", "BU", "BU++", "PC")
@@ -83,4 +90,35 @@ def test_fig9_report(benchmark):
     lines += format_table(
         ["dataset", "BS", "BU", "BU++", "PC", "BS/best"], rows
     )
-    print("\n" + write_result("fig9", lines))
+    metrics = [
+        Metric(f"bupp_seconds_{name}", row["BU++"].seconds, "seconds", "lower")
+        for name, row in table.items()
+        if row["BU++"] is not None
+    ] + [
+        Metric(f"phi_max_{name}", float(row["BU++"].phi_max), "count", "fixed")
+        for name, row in table.items()
+        if row["BU++"] is not None
+    ]
+    bs_ratios = [
+        row["BS"].seconds
+        / max(
+            min(r.seconds for a, r in row.items() if r and a != "BS"), 1e-9
+        )
+        for row in table.values()
+        if row["BS"] is not None
+    ]
+    best_gap = max(bs_ratios) if bs_ratios else 0.0
+    print(
+        "\n"
+        + write_result(
+            "fig9",
+            lines,
+            bench="fig9_performance",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "be_index_beats_bs_somewhere", best_gap > 1.0, 1.0, best_gap
+                )
+            ],
+        )
+    )

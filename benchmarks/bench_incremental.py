@@ -30,12 +30,21 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._shared import RESULTS_DIR, peak_rss_bytes, profiled
+from benchmarks._shared import (
+    Contract,
+    Metric,
+    make_result,
+    peak_rss_delta_bytes,
+    profiled,
+    publish,
+)
 from repro.core.api import bitruss_decomposition
 from repro.datasets import load_dataset
 from repro.maintenance import DynamicBipartiteGraph
 from repro.service.artifacts import DecompositionArtifact
 from repro.service.engine import QueryEngine
+
+BENCH_TIER = "smoke"
 
 #: Includes the largest bundled dataset (tracker, the acceptance target).
 DATASETS = ("github", "d-label", "tracker")
@@ -146,12 +155,11 @@ def _bench_dataset(name):
         "mean_fallback_abort_seconds": round(mean_abort, 6),
         "speedup": round(rebuild_s / mean_repaired, 1),
         "effective_speedup": round(rebuild_s / effective_mean, 2),
-        "peak_rss_bytes": peak_rss_bytes(),
+        "peak_rss_delta_bytes": peak_rss_delta_bytes(),
     }
 
 
 def _write(records):
-    RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "bench": "incremental",
         "speedup_floor": SPEEDUP_FLOOR,
@@ -163,8 +171,32 @@ def _write(records):
         ),
         "records": records,
     }
-    (RESULTS_DIR / "BENCH_incremental.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    floor = min(r["speedup"] for r in records)
+    effective_floor = min(r["effective_speedup"] for r in records)
+    metrics = [
+        Metric(f"mean_repaired_seconds_{r['dataset']}",
+               r["mean_repaired_seconds"], "seconds", "lower")
+        for r in records
+    ] + [
+        Metric(f"speedup_{r['dataset']}", r["speedup"], "ratio", "higher")
+        for r in records
+    ] + [
+        Metric("effective_speedup_floor", effective_floor, "ratio", "higher"),
+    ]
+    publish(
+        make_result(
+            "incremental",
+            metrics=metrics,
+            contracts=[
+                Contract(
+                    "repair_10x_vs_rebuild",
+                    floor >= SPEEDUP_FLOOR,
+                    SPEEDUP_FLOOR,
+                    floor,
+                )
+            ],
+            payload=payload,
+        )
     )
     return payload
 

@@ -22,23 +22,32 @@ Results land in ``benchmarks/results/BENCH_parallel_runtime.json`` —
 machine-readable, schema documented in ``docs/benchmarks.md``.
 """
 
-import json
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks._shared import RESULTS_DIR, profiled
+from benchmarks._shared import (
+    RESULTS_DIR,
+    Contract,
+    Metric,
+    make_result,
+    profiled,
+    publish,
+)
 from repro.butterfly.counting import count_per_edge
 from repro.core.bit_bu_batch import bit_bu_csr
 from repro.core.peeling_engine import CSRPeelingEngine
 from repro.datasets import dataset_names, load_dataset
 from repro.graph.generators import nested_communities
+from repro.obs.bench import load_result
 from repro.runtime import ParallelRuntime, bit_bu_par, is_available
 
 pytestmark = pytest.mark.skipif(
     not is_available(), reason="POSIX shared memory unavailable"
 )
+
+BENCH_TIER = "smoke"
 
 #: The dense generator workload: same nested-block structure as
 #: ``bench_csr_peeling`` scaled ~4x, so each worker's shards carry enough
@@ -176,9 +185,35 @@ def test_parallel_runtime_contract(benchmark):
         f"parallel {record['runtime_counting'][-1]['seconds']:.3f}s)"
     )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_parallel_runtime.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    four_w = record["runtime_counting"][-1]
+    out = publish(
+        make_result(
+            "parallel_runtime",
+            metrics=[
+                Metric("scalar_counting_seconds",
+                       record["scalar_counting_seconds"], "seconds", "lower"),
+                Metric("counting_4w_seconds", four_w["seconds"],
+                       "seconds", "lower"),
+                Metric("counting_4w_speedup", four_w["speedup_vs_scalar"],
+                       "ratio", "higher"),
+                Metric("index_build_parallel_seconds",
+                       record["index_build"]["parallel_seconds"],
+                       "seconds", "lower"),
+                Metric("bit_bu_par_seconds",
+                       record["decomposition"]["bit_bu_par_seconds"],
+                       "seconds", "lower"),
+            ],
+            contracts=[
+                Contract(
+                    "counting_2x_at_4_workers",
+                    measured >= SPEEDUP_FLOOR,
+                    SPEEDUP_FLOOR,
+                    measured,
+                )
+            ],
+            payload=record,
+        )
+    )
     print(f"\nwrote {out}")
     for row in record["runtime_counting"]:
         print(
@@ -212,7 +247,15 @@ def test_parallel_phi_identical_on_all_bundled_datasets(benchmark):
 
     out = RESULTS_DIR / "BENCH_parallel_runtime.json"
     if out.exists():
-        record = json.loads(out.read_text())
-        record["parity"] = {"workers": 2, "datasets": parity}
-        out.write_text(json.dumps(record, indent=2) + "\n")
+        result = load_result(out)
+        result.payload["parity"] = {"workers": 2, "datasets": parity}
+        result.contracts.append(
+            Contract(
+                "phi_identical_on_all_datasets",
+                all(entry["identical"] for entry in parity.values()),
+                1.0,
+                float(sum(e["identical"] for e in parity.values())),
+            )
+        )
+        publish(result)
     assert all(entry["identical"] for entry in parity.values())

@@ -40,7 +40,13 @@ import numpy as np
 import pytest
 
 import repro
-from benchmarks._shared import RESULTS_DIR, peak_rss_bytes
+from benchmarks._shared import (
+    Contract,
+    Metric,
+    make_result,
+    peak_rss_delta_bytes,
+    publish,
+)
 from repro.butterfly.counting import count_per_edge
 from repro.core import bit_bu_csr
 from repro.graph import chung_lu_edge_chunks, write_edge_chunks
@@ -215,12 +221,11 @@ def run_bench(tmp_dir: Path) -> dict:
 
     rng = np.random.default_rng(SEED)
     record["query"] = _query_latencies(engine, rng)
-    record["peak_rss_bytes"] = peak_rss_bytes()
+    record["peak_rss_delta_bytes"] = peak_rss_delta_bytes()
     return record
 
 
 def _write(record: dict) -> dict:
-    RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "bench": "scale",
         "notes": (
@@ -232,8 +237,39 @@ def _write(record: dict) -> dict:
         ),
         "record": record,
     }
-    (RESULTS_DIR / "BENCH_scale.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    ratio = record["ingest"]["rss_ratio"]
+    publish(
+        make_result(
+            "scale",
+            metrics=[
+                Metric("generate_seconds", record["generate_seconds"],
+                       "seconds", "lower"),
+                Metric("ingest_seconds", record["ingest_seconds"],
+                       "seconds", "lower"),
+                Metric("count_seconds", record["count_seconds"],
+                       "seconds", "lower"),
+                Metric("peel_seconds", record["peel_seconds"],
+                       "seconds", "lower"),
+                Metric("mmap_load_seconds",
+                       record["artifact_mmap_load_seconds"],
+                       "seconds", "lower"),
+                Metric("mean_point_query_seconds",
+                       record["query"]["mean_point_seconds"],
+                       "seconds", "lower"),
+                Metric("ingest_rss_ratio", ratio, "ratio", "lower"),
+                Metric("butterflies", float(record["butterflies"]),
+                       "count", "fixed"),
+            ],
+            contracts=[
+                Contract(
+                    "streaming_ingest_half_rss",
+                    ratio <= RSS_RATIO_CEILING,
+                    RSS_RATIO_CEILING,
+                    ratio,
+                )
+            ],
+            payload=payload,
+        )
     )
     return payload
 

@@ -26,7 +26,9 @@ import time
 
 import pytest
 
-from benchmarks._shared import RESULTS_DIR
+from benchmarks._shared import Contract, Metric, make_result, publish
+
+BENCH_TIER = "smoke"
 
 DATASET = "wiki-it"
 ALGORITHM = "bit-bu-csr"
@@ -116,9 +118,26 @@ def run_bench() -> dict:
 
 
 def _write(payload: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_server.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    publish(
+        make_result(
+            "server",
+            metrics=[
+                Metric("naive_rps", payload["naive"]["rps"], "rps", "higher"),
+                Metric("coalesced_rps", payload["coalesced"]["rps"],
+                       "rps", "higher"),
+                Metric("coalescing_speedup", payload["speedup"],
+                       "ratio", "higher"),
+            ],
+            contracts=[
+                Contract(
+                    "coalescing_5x_throughput",
+                    payload["speedup"] >= SPEEDUP_FLOOR,
+                    SPEEDUP_FLOOR,
+                    payload["speedup"],
+                )
+            ],
+            payload=payload,
+        )
     )
 
 

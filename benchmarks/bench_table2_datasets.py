@@ -10,6 +10,8 @@ sup_max ≫ φ_max (the hub-edge gap motivating BiT-PC), community datasets
 import pytest
 
 from benchmarks._shared import (
+    Contract,
+    Metric,
     dataset_supports,
     format_table,
     run_algorithm,
@@ -17,6 +19,8 @@ from benchmarks._shared import (
 )
 from repro.butterfly.counting import count_butterflies_total
 from repro.datasets import dataset_names, load_dataset
+
+BENCH_TIER = "smoke"
 
 _rows_cache = []
 
@@ -49,13 +53,34 @@ def test_table2_dataset_summary(benchmark):
         ["dataset", "|E|", "|U|", "|L|", "butterflies", "sup_max", "phi_max"],
         rows,
     )
-    text = write_result("table2", lines)
-    print("\n" + text)
     # shape assertions: the hub-edge phenomenon must be present where the
     # paper relies on it
     as_dict = {r[0]: r for r in rows}
+    contracts = []
     for name in ("d-style", "wiki-it", "twitter"):
         sup_max = int(as_dict[name][5])
         phi_max = int(as_dict[name][6])
-        assert sup_max > 2 * phi_max, f"{name} lost its hub-edge gap"
+        contracts.append(
+            Contract(
+                f"hub_gap_{name}", sup_max > 2 * phi_max,
+                2 * phi_max, sup_max,
+            )
+        )
+    metrics = [
+        Metric(f"butterflies_{r[0]}", float(r[4]), "count", "fixed")
+        for r in rows
+    ] + [
+        Metric(f"phi_max_{r[0]}", float(r[6]), "count", "fixed")
+        for r in rows
+    ]
+    text = write_result(
+        "table2",
+        lines,
+        bench="table2_datasets",
+        metrics=metrics,
+        contracts=contracts,
+    )
+    print("\n" + text)
+    for contract in contracts:
+        assert contract.passed, f"{contract.name} lost its hub-edge gap"
     assert len(rows) == 15

@@ -20,6 +20,10 @@ Subcommands
 ``trace``       inspect a running server's live tracing plane: list the
                 recent/slowest traces, print one trace's waterfall, or
                 export it as Chrome trace-event JSON for Perfetto.
+``bench``       the performance-trajectory plane: ``list``/``run`` the
+                discovered bench modules, ``history`` of any metric
+                series, noise-aware ``diff`` against pinned baselines
+                (exits non-zero on regression), ``accept`` to re-pin.
 
 Examples
 --------
@@ -61,6 +65,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro import datasets
@@ -74,6 +79,7 @@ from repro.graph.io import (
     save_phi,
     write_edge_chunks,
 )
+from repro.obs import bench as obs_bench
 from repro.obs import log as obs_log
 from repro.obs import phases as obs_phases
 from repro.utils.stats import UpdateCounter
@@ -324,6 +330,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             flushes = coal.get("flushes", 0)
             fold = coal.get("submitted", 0) / flushes if flushes else 0.0
             print(f"  coalescer: fold_ratio={fold:.2f} ({coal})")
+        build = None
+        try:
+            vars_url = url[: -len("/metrics")] + "/debug/vars"
+            with urlopen(vars_url) as response:
+                build = json.load(response).get("build")
+        except (URLError, OSError, json.JSONDecodeError):
+            build = None
+        if build:
+            print("  build:")
+            print(f"    git_sha:   {build.get('git_sha')}")
+            print(
+                f"    python:    {build.get('python')}"
+                f"  numpy: {build.get('numpy')}"
+            )
+            print(
+                f"    machine:   {build.get('hostname')} "
+                f"({build.get('cpu_count')}x {build.get('cpu_model')})"
+            )
+            knobs = build.get("repro_knobs") or {}
+            if knobs:
+                rendered = " ".join(f"{k}={v}" for k, v in sorted(knobs.items()))
+                print(f"    knobs:     {rendered}")
         if not _print_profile_block(payload):
             print("  (no profile block; start the server with --profile)")
         return 0
@@ -859,6 +887,211 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_dir(args: argparse.Namespace) -> Path:
+    """Locate ``benchmarks/``: ``--bench-dir``, cwd, or next to the package."""
+    if getattr(args, "bench_dir", None):
+        bench_dir = Path(args.bench_dir)
+        if not bench_dir.is_dir():
+            raise SystemExit(f"--bench-dir {bench_dir}: not a directory")
+        return bench_dir
+    candidates = [
+        Path.cwd() / "benchmarks",
+        Path(__file__).resolve().parents[2] / "benchmarks",
+    ]
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate
+    raise SystemExit(
+        "cannot find a benchmarks/ directory (run from the repository "
+        "root or pass --bench-dir)"
+    )
+
+
+def _bench_paths(args: argparse.Namespace):
+    bench_dir = _bench_dir(args)
+    results_dir = bench_dir / "results"
+    return (
+        bench_dir,
+        bench_dir.parent,  # repo root
+        results_dir,
+        results_dir / "trajectory.jsonl",
+        bench_dir / "baselines.json",
+    )
+
+
+def _bench_select(
+    specs, *, tier: str = "full", only: Optional[str] = None
+):
+    import fnmatch
+
+    chosen = [s for s in specs if s.in_tier(tier)]
+    if only:
+        chosen = [s for s in chosen if fnmatch.fnmatch(s.name, only)]
+    return chosen
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    bench_dir, _, _, _, _ = _bench_paths(args)
+    specs = _bench_select(
+        obs_bench.discover(bench_dir), tier=args.tier, only=args.only
+    )
+    if not specs:
+        print("no benches matched")
+        return 1
+    width = max(len(s.name) for s in specs)
+    for spec in specs:
+        print(f"{spec.name.ljust(width)}  {spec.tier:5s}  {spec.summary}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    bench_dir, repo_root, results_dir, trajectory, _ = _bench_paths(args)
+    specs = _bench_select(
+        obs_bench.discover(bench_dir), tier=args.tier, only=args.only
+    )
+    if not specs:
+        print("no benches matched")
+        return 1
+    _say(
+        f"running {len(specs)} bench module(s), tier={args.tier}, "
+        f"repeat={args.repeat}"
+    )
+    failed = 0
+    for spec in specs:
+        outcome = obs_bench.run_module(
+            spec,
+            repo_root=repo_root,
+            results_dir=results_dir,
+            trajectory_path=trajectory,
+            repeat=args.repeat,
+        )
+        published = ", ".join(sorted(r.bench for r in outcome.results))
+        if outcome.status == "failed":
+            failed += 1
+            print(f"FAIL  {spec.name}  ({outcome.seconds:.1f}s)")
+            if outcome.tail:
+                print(outcome.tail)
+        elif outcome.status == "no-result":
+            print(
+                f"pass  {spec.name}  ({outcome.seconds:.1f}s)  "
+                "[no result published — skipped or legacy bench]"
+            )
+        else:
+            print(
+                f"pass  {spec.name}  ({outcome.seconds:.1f}s)  -> {published}"
+            )
+    if failed:
+        print(f"{failed}/{len(specs)} bench module(s) failed")
+        return 1
+    return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    _, _, _, trajectory, _ = _bench_paths(args)
+    entries = [
+        r for r in obs_bench.read_trajectory(trajectory)
+        if r.bench == args.bench
+    ]
+    if not entries:
+        print(f"no trajectory entries for {args.bench!r} in {trajectory}")
+        return 1
+    entries = entries[-args.limit:]
+    for result in entries:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(result.created_unix)
+        )
+        metrics = "  ".join(
+            f"{m.name}={m.value:.6g}{'' if m.unit == 'count' else ' ' + m.unit}"
+            for m in result.metrics
+        )
+        print(
+            f"{stamp}  {result.env.git_sha[:8]:8s}  "
+            f"host={result.env.hostname or '?'}  x{result.repeats}  {metrics}"
+        )
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    _, _, _, trajectory, baselines_path = _bench_paths(args)
+    if not baselines_path.exists():
+        print(
+            f"no baselines at {baselines_path} — run `repro-bitruss bench "
+            "accept` after a trusted run to pin them"
+        )
+        return 0
+    with open(baselines_path, "r", encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    results = obs_bench.read_trajectory(trajectory)
+    if not results:
+        print(f"trajectory {trajectory} is empty — nothing to diff")
+        return 0
+    only = args.only.split(",") if args.only else None
+    deltas = obs_bench.diff_results(
+        results,
+        baselines,
+        threshold=args.threshold,
+        noise_mult=args.noise_mult,
+        history_window=args.window,
+        strict_env=args.strict_env,
+        only=only,
+    )
+    if not deltas:
+        print("no overlapping benches between trajectory and baselines")
+        return 0
+    for line in obs_bench.format_delta_table(deltas):
+        print(line)
+    regressions = [d for d in deltas if d.gating]
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed beyond the "
+            "noise-aware threshold"
+        )
+        return 2
+    infos = sum(1 for d in deltas if d.status == "info")
+    if infos:
+        print(
+            f"\nok ({infos} wall-clock metric(s) reported info-only: "
+            "baseline pinned on a different machine)"
+        )
+    else:
+        print("\nok — no regressions")
+    return 0
+
+
+def _cmd_bench_accept(args: argparse.Namespace) -> int:
+    _, _, _, trajectory, baselines_path = _bench_paths(args)
+    results = obs_bench.read_trajectory(trajectory)
+    if not results:
+        raise SystemExit(
+            f"trajectory {trajectory} is empty — run `repro-bitruss bench "
+            "run` first"
+        )
+    latest: dict = {}
+    for result in results:
+        latest[result.bench] = result
+    if args.only:
+        import fnmatch
+
+        latest = {
+            name: result
+            for name, result in latest.items()
+            if fnmatch.fnmatch(name, args.only)
+        }
+        if not latest:
+            raise SystemExit(f"no trajectory benches match --only {args.only}")
+    previous = None
+    if baselines_path.exists():
+        with open(baselines_path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+    doc = obs_bench.make_baselines(latest.values(), previous)
+    baselines_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        f"pinned {len(latest)} bench(es) "
+        f"({', '.join(sorted(latest))}) -> {baselines_path}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -1256,6 +1489,105 @@ def build_parser() -> argparse.ArgumentParser:
         "(--json, --export-chrome) are emitted",
     )
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run benches, inspect the perf trajectory, gate regressions",
+    )
+    bsub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def _bench_common(p):
+        p.add_argument(
+            "--bench-dir",
+            default=None,
+            metavar="DIR",
+            help="benchmarks/ directory (default: ./benchmarks or the "
+            "checkout next to the installed package)",
+        )
+
+    b_list = bsub.add_parser("list", help="discovered bench modules")
+    _bench_common(b_list)
+    b_list.add_argument(
+        "--tier", choices=obs_bench.TIERS, default="full",
+        help="only modules in this tier (default full = everything)",
+    )
+    b_list.add_argument(
+        "--only", default=None, metavar="GLOB", help="filter by module name"
+    )
+    b_list.set_defaults(func=_cmd_bench_list)
+
+    b_run = bsub.add_parser(
+        "run", help="execute bench modules and record the trajectory"
+    )
+    _bench_common(b_run)
+    b_run.add_argument(
+        "--tier", choices=obs_bench.TIERS, default="smoke",
+        help="smoke = fast CI subset, full = every module (default smoke)",
+    )
+    b_run.add_argument(
+        "--only", default=None, metavar="GLOB", help="filter by module name"
+    )
+    b_run.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="repeats per module; timing metrics fold min-of-N (default 1)",
+    )
+    b_run.set_defaults(func=_cmd_bench_run)
+
+    b_hist = bsub.add_parser(
+        "history", help="print one bench's trajectory entries"
+    )
+    _bench_common(b_hist)
+    b_hist.add_argument("bench", help="bench name (see `bench list`)")
+    b_hist.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="most recent N entries (default 20)",
+    )
+    b_hist.set_defaults(func=_cmd_bench_history)
+
+    b_diff = bsub.add_parser(
+        "diff",
+        help="latest runs vs pinned baselines; exit 2 on regression",
+    )
+    _bench_common(b_diff)
+    b_diff.add_argument(
+        "--threshold", type=float, default=obs_bench.DEFAULT_THRESHOLD,
+        help="relative regression floor when no tolerance is pinned "
+        f"(default {obs_bench.DEFAULT_THRESHOLD})",
+    )
+    b_diff.add_argument(
+        "--noise-mult", type=float, default=obs_bench.DEFAULT_NOISE_MULT,
+        help="multiples of the MAD noise window a delta must exceed "
+        f"(default {obs_bench.DEFAULT_NOISE_MULT})",
+    )
+    b_diff.add_argument(
+        "--window", type=int, default=obs_bench.DEFAULT_HISTORY_WINDOW,
+        help="trajectory entries per metric for the noise estimate "
+        f"(default {obs_bench.DEFAULT_HISTORY_WINDOW})",
+    )
+    b_diff.add_argument(
+        "--strict-env", action="store_true",
+        help="gate wall-clock metrics even when the baseline was pinned "
+        "on a different machine",
+    )
+    b_diff.add_argument(
+        "--only", default=None, metavar="BENCH[,BENCH...]",
+        help="restrict to these benches",
+    )
+    b_diff.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="explicit CI alias; regressions already exit non-zero",
+    )
+    b_diff.set_defaults(func=_cmd_bench_diff)
+
+    b_acc = bsub.add_parser(
+        "accept", help="re-pin baselines.json from the latest trajectory runs"
+    )
+    _bench_common(b_acc)
+    b_acc.add_argument(
+        "--only", default=None, metavar="GLOB",
+        help="pin only matching benches (others keep their previous pins)",
+    )
+    b_acc.set_defaults(func=_cmd_bench_accept)
 
     return parser
 

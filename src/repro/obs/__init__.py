@@ -19,6 +19,12 @@ every pillar of the codebase:
   records a nested phase tree (the paper's counting / index-build /
   peeling decomposition made first-class) that surfaces in logs, bench
   JSONs and ``repro-bitruss stats``.
+* :mod:`repro.obs.bench` — the performance-trajectory plane: schema'd
+  :class:`BenchResult` documents with an :class:`EnvFingerprint` of the
+  producing machine/build, ``publish()`` into canonical per-bench JSONs
+  plus a longitudinal ``trajectory.jsonl``, and a noise-aware regression
+  detector (relative threshold + MAD window) behind ``repro-bitruss
+  bench diff``.
 * :mod:`repro.obs.log` — stdlib-``logging`` helpers: a JSON formatter
   with trace-id correlation and the shared ``repro.*`` logger tree the
   server, update manager and CLI log through instead of bare prints.
@@ -29,7 +35,8 @@ phase profiler when profiling is enabled, so every already-instrumented
 algorithm phase appears in the tree for free.
 """
 
-from repro.obs import log, metrics, phases, spans, store, trace
+from repro.obs import bench, log, metrics, phases, spans, store, trace
+from repro.obs.bench import BenchResult, Contract, EnvFingerprint, Metric
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from repro.obs.phases import PhaseProfiler
 from repro.obs.spans import Span, SpanRecorder, get_recorder
@@ -37,6 +44,11 @@ from repro.obs.store import TraceRecord, TraceStore
 from repro.obs.trace import current_trace_id, new_trace_id, span
 
 __all__ = [
+    "BenchResult",
+    "Contract",
+    "EnvFingerprint",
+    "Metric",
+    "bench",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,965 @@
+"""Performance-trajectory plane: schema'd bench results + regression gating.
+
+PRs 7–8 gave the system live metrics and tracing for *one process at one
+moment*; this module adds the missing time axis.  Every benchmark run is
+captured as a :class:`BenchResult` — named metric series with units and
+better-directions, the contract pass/fails the bench asserted, and an
+:class:`EnvFingerprint` of the machine and build that produced them — and
+:func:`publish` appends it to a longitudinal ``trajectory.jsonl`` next to
+the canonical per-bench JSON.  :func:`diff_results` then compares the
+latest run against a committed baseline with a relative threshold *plus* a
+median-absolute-deviation noise window learned from the trajectory, the
+same continuous-benchmarking discipline ASV and Conbench bring to
+numpy/Arrow.
+
+Design points:
+
+* **Stdlib-only.**  Like the rest of :mod:`repro.obs`, importable from the
+  server, the CLI and the benches without dragging numpy in (numpy is only
+  *reported on*, via a lazy version probe).
+* **Direction-aware metrics.**  ``lower`` (latencies), ``higher``
+  (throughput, speedups) and ``fixed`` — deterministic invariants such as
+  support-update counts, butterfly totals and modelled index bytes, where
+  *any* drift is suspicious.  ``fixed`` metrics are machine-independent and
+  gate everywhere; timing metrics only gate against baselines pinned on a
+  matching machine (hostname + cpu model), because cross-machine wall-clock
+  comparison is noise by construction.
+* **Versioned (de)serialization.**  Documents carry ``schema_version``;
+  legacy pre-envelope bench JSONs load as version 0, and metric units are
+  normalized on load (``ms``/``us`` → seconds, with the matching ``_ms`` /
+  ``_us`` name suffix rewrite) so trajectories written under older naming
+  conventions stay comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import re
+import resource
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Which way is "better" for a metric.  ``fixed`` marks deterministic
+#: invariants (counts, modelled sizes) where any drift beyond tolerance is
+#: flagged in both directions.
+DIRECTIONS = ("lower", "higher", "fixed")
+
+#: Unit aliases normalized on load: ``unit -> (canonical unit, scale)``.
+#: Keeps old trajectory lines comparable after a unit-convention change.
+_UNIT_SCALES: Dict[str, Tuple[str, float]] = {
+    "s": ("seconds", 1.0),
+    "sec": ("seconds", 1.0),
+    "secs": ("seconds", 1.0),
+    "ms": ("seconds", 1e-3),
+    "milliseconds": ("seconds", 1e-3),
+    "us": ("seconds", 1e-6),
+    "microseconds": ("seconds", 1e-6),
+    "kb": ("bytes", 1024.0),
+    "kib": ("bytes", 1024.0),
+    "mb": ("bytes", 1024.0 * 1024.0),
+    "mib": ("bytes", 1024.0 * 1024.0),
+}
+
+#: Name-suffix rewrites applied alongside a unit conversion, so the series
+#: ``latency_ms`` (ms) continues as ``latency_seconds`` (seconds).
+_NAME_SUFFIXES = {"_ms": "_seconds", "_us": "_seconds", "_kb": "_bytes"}
+
+#: Default relative tolerance by canonical unit for directional (non-fixed)
+#: metrics without an explicit per-metric tolerance.  Wall-clock is noisy
+#: even on one machine; deterministic units get the global threshold.
+_UNIT_TOLERANCES = {"seconds": 1.5, "bytes": 0.5}
+
+#: Tolerance for ``fixed`` metrics: deterministic, so essentially exact
+#: (the epsilon absorbs float round-tripping only).
+FIXED_TOLERANCE = 1e-3
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_NOISE_MULT = 4.0
+DEFAULT_HISTORY_WINDOW = 20
+MIN_NOISE_SAMPLES = 3
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise so
+    every consumer records one comparable column.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(rss)
+    return int(rss) * 1024
+
+
+# --------------------------------------------------------------------------
+# schema
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named measurement of a bench run."""
+
+    name: str
+    value: float
+    unit: str = "seconds"
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"metric {self.name!r}: direction {self.direction!r} "
+                f"not in {DIRECTIONS}"
+            )
+
+    def normalized(self) -> "Metric":
+        """Canonical-unit form (``ms`` → seconds with the name rewritten)."""
+        unit = self.unit.lower()
+        if unit not in _UNIT_SCALES:
+            return self
+        canonical, scale = _UNIT_SCALES[unit]
+        name = self.name
+        for suffix, repl in _NAME_SUFFIXES.items():
+            if name.endswith(suffix):
+                name = name[: -len(suffix)] + repl
+                break
+        return Metric(name, self.value * scale, canonical, self.direction)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "Metric":
+        return cls(
+            name=str(doc["name"]),
+            value=float(doc["value"]),  # type: ignore[arg-type]
+            unit=str(doc.get("unit", "seconds")),
+            direction=str(doc.get("direction", "lower")),
+        ).normalized()
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One asserted acceptance bar (e.g. ``>= 5x coalesced throughput``)."""
+
+    name: str
+    passed: bool
+    required: float
+    measured: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "required": self.required,
+            "measured": self.measured,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "Contract":
+        return cls(
+            name=str(doc["name"]),
+            passed=bool(doc["passed"]),
+            required=float(doc.get("required", 0.0)),  # type: ignore[arg-type]
+            measured=float(doc.get("measured", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def _git_sha() -> str:
+    """Best-effort commit id: ``REPRO_GIT_SHA`` env, else ``git rev-parse``.
+
+    Tried from the current directory first (benches run from the repo
+    checkout), then from the package directory (editable installs).
+    """
+    sha = os.environ.get("REPRO_GIT_SHA")
+    if sha:
+        return sha
+    for cwd in (Path.cwd(), Path(__file__).resolve().parent):
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    return "unknown"
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        return None
+    return str(numpy.__version__)
+
+
+@dataclass
+class EnvFingerprint:
+    """Where and on what a result was produced — what makes it comparable.
+
+    Two results are wall-clock comparable when ``hostname`` and
+    ``cpu_model`` (and ideally ``cpu_count``) agree; ``git_sha`` pins the
+    code, ``repro_knobs`` the active ``REPRO_*`` configuration, and
+    ``peak_rss_bytes`` the process high-water mark at collection time.
+    """
+
+    git_sha: str = "unknown"
+    python: str = ""
+    numpy: Optional[str] = None
+    platform: str = ""
+    hostname: str = ""
+    cpu_count: int = 0
+    cpu_model: str = ""
+    repro_knobs: Dict[str, str] = field(default_factory=dict)
+    peak_rss_bytes: int = 0
+
+    @classmethod
+    def collect(cls) -> "EnvFingerprint":
+        return cls(
+            git_sha=_git_sha(),
+            python=sys.version.split()[0],
+            numpy=_numpy_version(),
+            platform=platform.platform(),
+            hostname=socket.gethostname(),
+            cpu_count=os.cpu_count() or 0,
+            cpu_model=_cpu_model(),
+            repro_knobs={
+                key: value
+                for key, value in sorted(os.environ.items())
+                if key.startswith("REPRO_")
+            },
+            peak_rss_bytes=peak_rss_bytes(),
+        )
+
+    def matches_machine(self, other: "EnvFingerprint") -> bool:
+        """Same box for wall-clock purposes: host, CPU model and count."""
+        return (
+            self.hostname == other.hostname
+            and self.cpu_model == other.cpu_model
+            and self.cpu_count == other.cpu_count
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "git_sha": self.git_sha,
+            "python": self.python,
+            "numpy": self.numpy,
+            "platform": self.platform,
+            "hostname": self.hostname,
+            "cpu_count": self.cpu_count,
+            "cpu_model": self.cpu_model,
+            "repro_knobs": dict(self.repro_knobs),
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "EnvFingerprint":
+        return cls(
+            git_sha=str(doc.get("git_sha", "unknown")),
+            python=str(doc.get("python", "")),
+            numpy=doc.get("numpy"),  # type: ignore[arg-type]
+            platform=str(doc.get("platform", "")),
+            hostname=str(doc.get("hostname", "")),
+            cpu_count=int(doc.get("cpu_count", 0)),  # type: ignore[arg-type]
+            cpu_model=str(doc.get("cpu_model", "")),
+            repro_knobs=dict(doc.get("repro_knobs", {})),  # type: ignore[arg-type]
+            peak_rss_bytes=int(doc.get("peak_rss_bytes", 0)),  # type: ignore[arg-type]
+        )
+
+
+_FINGERPRINT: Optional[EnvFingerprint] = None
+
+
+def get_fingerprint(refresh: bool = False) -> EnvFingerprint:
+    """Process-cached fingerprint (the git subprocess runs at most once)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None or refresh:
+        _FINGERPRINT = EnvFingerprint.collect()
+    return _FINGERPRINT
+
+
+@dataclass
+class BenchResult:
+    """One bench execution: metrics + contracts + environment + payload.
+
+    ``payload`` carries the bench's full legacy record (tables, profile
+    blocks) and lands in the canonical ``BENCH_<name>.json`` only; the
+    trajectory line keeps the compact, longitudinally-comparable core.
+    """
+
+    bench: str
+    metrics: List[Metric] = field(default_factory=list)
+    contracts: List[Contract] = field(default_factory=list)
+    env: EnvFingerprint = field(default_factory=get_fingerprint)
+    payload: Dict[str, object] = field(default_factory=dict)
+    created_unix: float = field(default_factory=time.time)
+    repeats: int = 1
+    schema_version: int = SCHEMA_VERSION
+
+    def metric(self, name: str) -> Optional[Metric]:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        return None
+
+    def to_dict(self, *, trajectory: bool = False) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema_version": self.schema_version,
+            "bench": self.bench,
+            "created_unix": self.created_unix,
+            "repeats": self.repeats,
+            "env": self.env.to_dict(),
+            "metrics": [m.to_dict() for m in self.metrics],
+            "contracts": [c.to_dict() for c in self.contracts],
+        }
+        if not trajectory:
+            doc["payload"] = self.payload
+        return doc
+
+    @classmethod
+    def from_dict(
+        cls, doc: Dict[str, object], *, bench: Optional[str] = None
+    ) -> "BenchResult":
+        """Load any schema version (see :func:`migrate`)."""
+        doc = migrate(doc, bench=bench)
+        return cls(
+            bench=str(doc["bench"]),
+            metrics=[Metric.from_dict(m) for m in doc.get("metrics", [])],  # type: ignore[union-attr]
+            contracts=[
+                Contract.from_dict(c) for c in doc.get("contracts", [])  # type: ignore[union-attr]
+            ],
+            env=EnvFingerprint.from_dict(doc.get("env", {})),  # type: ignore[arg-type]
+            payload=dict(doc.get("payload", {})),  # type: ignore[arg-type]
+            created_unix=float(doc.get("created_unix", 0.0)),  # type: ignore[arg-type]
+            repeats=int(doc.get("repeats", 1)),  # type: ignore[arg-type]
+            schema_version=SCHEMA_VERSION,
+        )
+
+
+def migrate(
+    doc: Dict[str, object], *, bench: Optional[str] = None
+) -> Dict[str, object]:
+    """Bring a result document to the current schema version.
+
+    Version 0 is the pre-envelope era: the raw ad-hoc payload every bench
+    used to write (``{"bench": ..., "records": [...]}`` or similar, no
+    ``schema_version`` key).  It wraps into an envelope with the payload
+    preserved and no comparable metrics — history starts at version 1, but
+    old files keep loading.  Unit/name normalization for metrics happens in
+    :meth:`Metric.from_dict` and applies to every version.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"bench result must be a JSON object, got {type(doc)}")
+    version = doc.get("schema_version")
+    if version is None:
+        name = bench or str(doc.get("bench", "unknown"))
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "bench": name,
+            "created_unix": float(doc.get("created_unix", 0.0)),  # type: ignore[arg-type]
+            "repeats": 1,
+            "env": {},
+            "metrics": [],
+            "contracts": [],
+            "payload": doc,
+        }
+    if not isinstance(version, int) or version < 0:
+        raise ValueError(f"bad schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"result written by a newer schema (version {version}, "
+            f"this build reads <= {SCHEMA_VERSION})"
+        )
+    return doc
+
+
+def merge_results(results: Sequence[BenchResult]) -> BenchResult:
+    """Best-of merge across repeats of one bench.
+
+    Per metric: ``lower`` keeps the min, ``higher`` the max, ``fixed`` the
+    last (and any disagreement between repeats of a fixed metric is left
+    visible to the detector rather than papered over).  Contracts and the
+    payload come from the last repeat; ``repeats`` records the fold count.
+    """
+    if not results:
+        raise ValueError("merge_results needs at least one result")
+    last = results[-1]
+    if len(results) == 1:
+        return last
+    merged: List[Metric] = []
+    for metric in last.metrics:
+        values = [
+            r.metric(metric.name).value  # type: ignore[union-attr]
+            for r in results
+            if r.metric(metric.name) is not None
+        ]
+        if metric.direction == "lower":
+            value = min(values)
+        elif metric.direction == "higher":
+            value = max(values)
+        else:
+            value = values[-1]
+        merged.append(replace(metric, value=value))
+    return replace(
+        last,
+        metrics=merged,
+        repeats=sum(r.repeats for r in results),
+        created_unix=last.created_unix,
+    )
+
+
+# --------------------------------------------------------------------------
+# publication
+
+
+def result_filename(bench: str) -> str:
+    return f"BENCH_{bench}.json"
+
+
+def publish(
+    result: BenchResult,
+    results_dir: Path,
+    *,
+    root_dir: Optional[Path] = None,
+    trajectory_path: Optional[Path] = None,
+) -> Path:
+    """Write the canonical per-bench JSON and append the trajectory line.
+
+    Three sinks, one call:
+
+    * ``results_dir/BENCH_<bench>.json`` — the full envelope including the
+      bench's payload (tables, profile trees), regenerated in place;
+    * ``root_dir/BENCH_<bench>.json`` — a repo-root copy of the same
+      document (ROADMAP reviews and external tooling read the root);
+    * ``trajectory_path`` (default ``results_dir/trajectory.jsonl``) — one
+      compact line per run, the longitudinal record ``bench diff`` learns
+      noise from.
+    """
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    document = json.dumps(result.to_dict(), indent=2, default=str) + "\n"
+    canonical = results_dir / result_filename(result.bench)
+    canonical.write_text(document)
+    if root_dir is not None:
+        Path(root_dir).mkdir(parents=True, exist_ok=True)
+        (Path(root_dir) / result_filename(result.bench)).write_text(document)
+    if trajectory_path is None:
+        trajectory_path = results_dir / "trajectory.jsonl"
+    line = json.dumps(result.to_dict(trajectory=True), default=str)
+    with open(trajectory_path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return canonical
+
+
+def load_result(path: Path) -> BenchResult:
+    """Load one ``BENCH_<name>.json`` (any schema version)."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    match = re.match(r"BENCH_(.+)\.json$", path.name)
+    return BenchResult.from_dict(doc, bench=match.group(1) if match else None)
+
+
+def read_trajectory(path: Path) -> List[BenchResult]:
+    """All parseable trajectory lines, oldest first (bad lines skipped)."""
+    results: List[BenchResult] = []
+    path = Path(path)
+    if not path.exists():
+        return results
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                results.append(BenchResult.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+                continue
+    return results
+
+
+# --------------------------------------------------------------------------
+# baselines + the noise-aware regression detector
+
+
+BASELINES_VERSION = 1
+
+
+def default_tolerance(metric: Metric) -> Optional[float]:
+    """Per-metric slack when the baseline pins none explicitly."""
+    if metric.direction == "fixed":
+        return FIXED_TOLERANCE
+    return _UNIT_TOLERANCES.get(metric.unit.lower())
+
+
+def make_baselines(
+    results: Iterable[BenchResult],
+    previous: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Pin the given results as the new baselines document.
+
+    Benches absent from ``results`` keep their previous pins, so a partial
+    ``bench accept --only`` never silently drops the rest of the suite.
+    """
+    benches: Dict[str, object] = {}
+    if previous and isinstance(previous.get("benches"), dict):
+        benches.update(previous["benches"])  # type: ignore[arg-type]
+    for result in results:
+        benches[result.bench] = {
+            "pinned_unix": result.created_unix,
+            "env": result.env.to_dict(),
+            "metrics": {
+                metric.name: {
+                    "value": metric.value,
+                    "unit": metric.unit,
+                    "direction": metric.direction,
+                    "tolerance": default_tolerance(metric),
+                }
+                for metric in result.metrics
+            },
+        }
+    return {"baselines_version": BASELINES_VERSION, "benches": benches}
+
+
+@dataclass
+class MetricDelta:
+    """One row of the ``bench diff`` table."""
+
+    bench: str
+    metric: str
+    unit: str
+    direction: str
+    baseline: Optional[float]
+    latest: Optional[float]
+    delta_rel: Optional[float]
+    allowed_rel: float
+    noise_rel: float
+    samples: int
+    #: ``ok`` | ``regression`` | ``improvement`` | ``missing`` | ``new`` |
+    #: ``info`` (env mismatch: reported, not gated)
+    status: str = "ok"
+
+    @property
+    def gating(self) -> bool:
+        return self.status == "regression"
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def relative_noise(history: Sequence[float]) -> float:
+    """Robust relative spread of a metric's history: 1.4826·MAD / |median|.
+
+    Empty or near-constant histories yield 0.0 — the detector then falls
+    back to the static threshold alone.
+    """
+    if len(history) < MIN_NOISE_SAMPLES:
+        return 0.0
+    med = _median(history)
+    mad = _median([abs(v - med) for v in history])
+    scale = max(abs(med), 1e-12)
+    return 1.4826 * mad / scale
+
+
+def compare_metric(
+    bench: str,
+    baseline_entry: Dict[str, object],
+    latest: Optional[Metric],
+    history: Sequence[float],
+    *,
+    name: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_mult: float = DEFAULT_NOISE_MULT,
+    gate: bool = True,
+) -> MetricDelta:
+    """Compare one metric's latest value against its pinned baseline."""
+    direction = str(baseline_entry.get("direction", "lower"))
+    unit = str(baseline_entry.get("unit", "seconds"))
+    base = baseline_entry.get("value")
+    base_value = float(base) if base is not None else None
+    tolerance = baseline_entry.get("tolerance")
+    floor = (
+        float(tolerance)
+        if tolerance is not None
+        else (
+            default_tolerance(Metric(name, 0.0, unit, direction))
+            if direction in DIRECTIONS
+            else None
+        )
+    )
+    if floor is None:
+        floor = threshold
+    noise = relative_noise(history)
+    allowed = max(floor, noise_mult * noise)
+
+    if latest is None:
+        return MetricDelta(
+            bench, name, unit, direction, base_value, None, None,
+            allowed, noise, len(history), status="missing",
+        )
+    if base_value is None:
+        return MetricDelta(
+            bench, name, unit, direction, None, latest.value, None,
+            allowed, noise, len(history), status="new",
+        )
+    if base_value == 0.0:
+        delta = 0.0 if latest.value == 0.0 else math.inf
+    else:
+        delta = (latest.value - base_value) / abs(base_value)
+
+    status = "ok"
+    if direction == "lower":
+        if delta > allowed:
+            status = "regression"
+        elif delta < -allowed:
+            status = "improvement"
+    elif direction == "higher":
+        if delta < -allowed:
+            status = "regression"
+        elif delta > allowed:
+            status = "improvement"
+    else:  # fixed
+        if abs(delta) > allowed:
+            status = "regression"
+    if status == "regression" and not gate:
+        status = "info"
+    return MetricDelta(
+        bench, name, unit, direction, base_value, latest.value, delta,
+        allowed, noise, len(history), status=status,
+    )
+
+
+def diff_results(
+    trajectory: Sequence[BenchResult],
+    baselines: Dict[str, object],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_mult: float = DEFAULT_NOISE_MULT,
+    history_window: int = DEFAULT_HISTORY_WINDOW,
+    strict_env: bool = False,
+    only: Optional[Sequence[str]] = None,
+) -> List[MetricDelta]:
+    """The regression detector: latest trajectory run vs pinned baselines.
+
+    Per bench, the *latest* trajectory entry is the candidate; earlier
+    entries recorded on the same machine (hostname + cpu model + count)
+    supply the noise window.  A metric regresses when its relative delta
+    against the baseline exceeds ``max(tolerance-or-threshold,
+    noise_mult · MAD-noise)`` in the bad direction.
+
+    Machine discipline: ``fixed`` metrics gate unconditionally (they are
+    deterministic); timing metrics gate only when the baseline was pinned
+    on the same machine as the candidate run — otherwise they are demoted
+    to ``info`` rows (``strict_env=True`` gates them anyway).
+    """
+    benches = baselines.get("benches", {})
+    if not isinstance(benches, dict):
+        raise ValueError("baselines document has no 'benches' mapping")
+    by_bench: Dict[str, List[BenchResult]] = {}
+    for result in trajectory:
+        by_bench.setdefault(result.bench, []).append(result)
+
+    deltas: List[MetricDelta] = []
+    for bench, pinned in sorted(benches.items()):
+        if only and bench not in only:
+            continue
+        runs = by_bench.get(bench, [])
+        if not runs:
+            continue  # nothing measured this time; nothing to compare
+        latest = runs[-1]
+        history_runs = [
+            r for r in runs[:-1] if r.env.matches_machine(latest.env)
+        ][-history_window:]
+        base_env = EnvFingerprint.from_dict(pinned.get("env", {}))  # type: ignore[arg-type]
+        same_machine = base_env.matches_machine(latest.env)
+        pinned_metrics = pinned.get("metrics", {})
+        if not isinstance(pinned_metrics, dict):
+            continue
+        for name, entry in sorted(pinned_metrics.items()):
+            direction = str(entry.get("direction", "lower"))
+            gate = strict_env or same_machine or direction == "fixed"
+            history = [
+                m.value
+                for r in history_runs
+                for m in [r.metric(name)]
+                if m is not None
+            ]
+            deltas.append(
+                compare_metric(
+                    bench,
+                    entry,
+                    latest.metric(name),
+                    history,
+                    name=name,
+                    threshold=threshold,
+                    noise_mult=noise_mult,
+                    gate=gate,
+                )
+            )
+        for metric in latest.metrics:
+            if metric.name not in pinned_metrics:
+                deltas.append(
+                    MetricDelta(
+                        bench, metric.name, metric.unit, metric.direction,
+                        None, metric.value, None, 0.0, 0.0, 0, status="new",
+                    )
+                )
+    return deltas
+
+
+# --------------------------------------------------------------------------
+# discovery-based runner
+
+TIERS = ("smoke", "full")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One discovered ``benchmarks/bench_*.py`` module."""
+
+    name: str
+    path: Path
+    tier: str
+    summary: str
+
+    def in_tier(self, tier: str) -> bool:
+        return tier == "full" or self.tier == tier
+
+
+def discover(bench_dir: Path) -> List[BenchSpec]:
+    """Find bench modules and read their tier + docstring, without import.
+
+    A module opts into the fast tier with a top-level ``BENCH_TIER =
+    "smoke"`` assignment; everything else is ``full``-tier.  Parsing is
+    :mod:`ast`-based so discovery never pays (or crashes on) the module's
+    imports.
+    """
+    import ast
+
+    specs: List[BenchSpec] = []
+    for path in sorted(Path(bench_dir).glob("bench_*.py")):
+        tier = "full"
+        summary = ""
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            summary = "(unparseable)"
+        else:
+            doc = ast.get_docstring(tree)
+            if doc:
+                summary = doc.strip().splitlines()[0]
+            for node in tree.body:
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "BENCH_TIER"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value in TIERS
+                ):
+                    tier = node.value.value
+        specs.append(
+            BenchSpec(
+                name=path.stem[len("bench_"):], path=path, tier=tier,
+                summary=summary,
+            )
+        )
+    return specs
+
+
+@dataclass
+class RunOutcome:
+    """What one ``bench run`` execution of one module produced."""
+
+    spec: BenchSpec
+    #: ``ok`` | ``failed`` | ``no-result`` (tests passed or were skipped
+    #: but nothing was published — e.g. a platform-gated bench)
+    status: str
+    seconds: float
+    returncode: int
+    results: List[BenchResult] = field(default_factory=list)
+    tail: str = ""
+
+
+def _trajectory_size(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
+def _read_trajectory_from(path: Path, offset: int) -> List[BenchResult]:
+    results: List[BenchResult] = []
+    if not path.exists():
+        return results
+    with open(path, "r", encoding="utf-8") as handle:
+        handle.seek(offset)
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                results.append(BenchResult.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+                continue
+    return results
+
+
+def run_module(
+    spec: BenchSpec,
+    *,
+    repo_root: Path,
+    results_dir: Path,
+    trajectory_path: Path,
+    repeat: int = 1,
+    extra_env: Optional[Dict[str, str]] = None,
+) -> RunOutcome:
+    """Execute one bench module ``repeat`` times under pytest.
+
+    Each execution is a fresh interpreter (``python -m pytest <file> -q``)
+    from the repository root, so benches publish through their normal
+    in-module path and every run lands on the trajectory.  With
+    ``repeat > 1`` the per-repeat results are folded min-of-N (direction
+    aware, :func:`merge_results`) and the merged result is republished —
+    the canonical file and the final trajectory line carry the best-of
+    while the individual repeats stay on record.
+    """
+    repo_root = Path(repo_root)
+    env = dict(os.environ)
+    src = repo_root / "src"
+    extra_paths = [str(repo_root)] + ([str(src)] if src.is_dir() else [])
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = os.pathsep.join(
+        extra_paths + ([current] if current else [])
+    )
+    if extra_env:
+        env.update(extra_env)
+
+    start = time.perf_counter()
+    collected: Dict[str, List[BenchResult]] = {}
+    returncode = 0
+    tail = ""
+    for _ in range(max(1, repeat)):
+        offset = _trajectory_size(trajectory_path)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", str(spec.path), "-q",
+                "-p", "no:cacheprovider",
+            ],
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        returncode = proc.returncode
+        if proc.returncode != 0:
+            tail = "\n".join(
+                (proc.stdout + "\n" + proc.stderr).strip().splitlines()[-25:]
+            )
+            break
+        for result in _read_trajectory_from(trajectory_path, offset):
+            collected.setdefault(result.bench, []).append(result)
+    seconds = time.perf_counter() - start
+
+    if returncode != 0:
+        return RunOutcome(spec, "failed", seconds, returncode, [], tail)
+
+    merged: List[BenchResult] = []
+    for name, runs in collected.items():
+        # Within one execution a module may publish the same bench twice
+        # (e.g. a second test enriching the record); fold across repeats
+        # on the per-repeat *last* publication.
+        if repeat > 1 and len(runs) > 1:
+            best = merge_results(runs)
+            publish(
+                best,
+                results_dir,
+                root_dir=repo_root,
+                trajectory_path=trajectory_path,
+            )
+            merged.append(best)
+        else:
+            merged.append(runs[-1])
+    status = "ok" if merged else "no-result"
+    return RunOutcome(spec, status, seconds, returncode, merged)
+
+
+def format_delta_table(deltas: Sequence[MetricDelta]) -> List[str]:
+    """The per-metric delta table ``bench diff`` prints."""
+    header = [
+        "bench", "metric", "dir", "baseline", "latest", "delta",
+        "allowed", "noise", "n", "status",
+    ]
+    rows: List[List[str]] = []
+
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        if value != value or abs(value) == math.inf:
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-4:
+            return f"{value:.3e}"
+        return f"{value:.6g}"
+
+    for d in deltas:
+        delta = (
+            "-"
+            if d.delta_rel is None
+            else ("inf" if abs(d.delta_rel) == math.inf else f"{d.delta_rel:+.1%}")
+        )
+        rows.append(
+            [
+                d.bench, d.metric, d.direction, fmt(d.baseline),
+                fmt(d.latest), delta, f"{d.allowed_rel:.1%}",
+                f"{d.noise_rel:.1%}", str(d.samples), d.status,
+            ]
+        )
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    return [line(header), line(["-" * w for w in widths])] + [
+        line(row) for row in rows
+    ]

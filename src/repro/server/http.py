@@ -716,6 +716,8 @@ class BitrussServer:
 
     def debug_vars(self) -> Dict[str, object]:
         """The ``/debug/vars`` statusz snapshot (also handy in-process)."""
+        from repro.obs.bench import get_fingerprint
+
         data = self.metrics()
         return {
             **data,
@@ -728,6 +730,9 @@ class BitrussServer:
                 "rss_bytes": _rss_bytes(),
                 "max_rss_bytes": _max_rss_bytes(),
             },
+            # The same EnvFingerprint the bench trajectory records, so a
+            # scrape is attributable to an exact build + machine + knobs.
+            "build": get_fingerprint().to_dict(),
             "tracing": {
                 "recorder": self._recorder.stats(),
                 "store": self.trace_store.stats(),
