@@ -678,6 +678,9 @@ def _build_serve_registry(args: argparse.Namespace):
             algorithm=_resolve_algorithm(args, "bit-bu-csr"),
             incremental=args.rebuild_threshold > 0,
             rebuild_threshold=args.rebuild_threshold,
+            max_incremental_batch=args.max_incremental_batch,
+            predict=not args.no_predict,
+            adaptive_budget=not args.no_adaptive_budget,
         )
         for name in registry.names():
             updates.attach(name)
@@ -759,6 +762,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--debounce must be non-negative")
     if not 0.0 <= args.rebuild_threshold <= 1.0:
         raise SystemExit("--rebuild-threshold must be within [0, 1]")
+    if args.max_incremental_batch < 1:
+        raise SystemExit("--max-incremental-batch must be positive")
     if args.cache_size < 0:
         raise SystemExit("--cache-size must be non-negative")
     if args.slow_query_ms < 0:
@@ -1405,10 +1410,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.15,
         metavar="FRACTION",
-        help="mutations whose affected φ region stays under this fraction "
-        "of the edge count are repaired incrementally in place; larger "
-        "ones fall back to the debounced full rebuild (default 0.15; "
-        "0 disables incremental maintenance)",
+        help="ceiling on the per-op φ-repair region as a fraction of the "
+        "edge count; the effective budget adapts below it from an EWMA "
+        "of observed region sizes, and ops that exceed (or are predicted "
+        "to exceed) it fall back to the debounced full rebuild "
+        "(default 0.15; 0 disables incremental maintenance)",
+    )
+    p_srv.add_argument(
+        "--max-incremental-batch",
+        type=int,
+        default=64,
+        metavar="OPS",
+        help="mutation batches with more net ops than this skip the "
+        "batched in-place repair and go straight to one debounced "
+        "rebuild (default 64)",
+    )
+    p_srv.add_argument(
+        "--no-predict",
+        action="store_true",
+        help="disable the fallback predictor (always run the region "
+        "search, paying the abort cost when it blows the budget)",
+    )
+    p_srv.add_argument(
+        "--no-adaptive-budget",
+        action="store_true",
+        help="pin the φ-repair region budget at the static "
+        "--rebuild-threshold ceiling instead of adapting it from "
+        "observed region sizes",
     )
     p_srv.add_argument(
         "--window-ms",

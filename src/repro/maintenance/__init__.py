@@ -8,13 +8,17 @@ numbers themselves through exact localized re-peeling.
 
 from repro.maintenance.dynamic import ApplyOutcome, DynamicBipartiteGraph
 from repro.maintenance.incremental import (
+    AdaptiveBudget,
+    BatchReport,
     DirtyTrackerError,
     IncrementalBitruss,
     RepairReport,
 )
 
 __all__ = [
+    "AdaptiveBudget",
     "ApplyOutcome",
+    "BatchReport",
     "DirtyTrackerError",
     "DynamicBipartiteGraph",
     "IncrementalBitruss",

@@ -64,6 +64,10 @@ class ApplyOutcome:
     incremental: bool = False
     patched: int = 0
     butterfly_delta: int = 0
+    #: The tracker's :class:`~repro.maintenance.incremental.BatchReport`
+    #: when the incremental batch path ran (predictor and merged-peel
+    #: counters live there), ``None`` otherwise.
+    batch: Optional[object] = None
 
     @property
     def region_size(self) -> int:
@@ -324,6 +328,51 @@ class DynamicBipartiteGraph:
         """The attached φ tracker, or ``None``."""
         return getattr(self, "_tracker", None)
 
+    def validate_batch(
+        self,
+        inserts: Iterable[Edge] = (),
+        deletes: Iterable[Edge] = (),
+    ) -> Tuple[List[Edge], List[Edge]]:
+        """Check a whole mutation batch against the current graph.
+
+        The atomicity gate for :meth:`apply_batch`: endpoint ranges,
+        duplicate ops, missing delete targets, and already-present insert
+        targets are all rejected *before* anything mutates, so a bad op at
+        position k can never leave ops ``0..k-1`` half-applied.  An insert
+        of an edge that the same batch also deletes is legal (deletes apply
+        first, so the pair is a toggle).
+
+        Returns the normalized ``(inserts, deletes)`` lists.
+
+        Raises
+        ------
+        ValueError
+            Describing the first offending op; the graph is untouched.
+        """
+        inserts = [(int(u), int(v)) for u, v in inserts]
+        deletes = [(int(u), int(v)) for u, v in deletes]
+        deleted: Set[Edge] = set()
+        for u, v in deletes:
+            self._check_endpoints(u, v)
+            if (u, v) in deleted:
+                raise ValueError(
+                    f"duplicate delete of edge ({u}, {v}) in batch"
+                )
+            if (u, v) not in self._support:
+                raise ValueError(f"edge ({u}, {v}) not present")
+            deleted.add((u, v))
+        inserted: Set[Edge] = set()
+        for u, v in inserts:
+            self._check_endpoints(u, v)
+            if (u, v) in inserted:
+                raise ValueError(
+                    f"duplicate insert of edge ({u}, {v}) in batch"
+                )
+            if (u, v) in self._support and (u, v) not in deleted:
+                raise ValueError(f"edge ({u}, {v}) already present")
+            inserted.add((u, v))
+        return inserts, deletes
+
     def apply(
         self,
         inserts: Iterable[Edge] = (),
@@ -335,32 +384,71 @@ class DynamicBipartiteGraph:
     ) -> ApplyOutcome:
         """Apply an edge batch, repairing φ and patching watchers in place.
 
+        A thin alias of :meth:`apply_batch` kept for the historical call
+        sites; see there for the batch-native semantics (atomic
+        validation, deferred merged peels, fallback predictor, adaptive
+        budget).
+        """
+        return self.apply_batch(
+            inserts,
+            deletes,
+            incremental=incremental,
+            max_region_fraction=max_region_fraction,
+            patch_watchers=patch_watchers,
+        )
+
+    def apply_batch(
+        self,
+        inserts: Iterable[Edge] = (),
+        deletes: Iterable[Edge] = (),
+        *,
+        incremental: bool = True,
+        max_region_fraction: Optional[float] = None,
+        patch_watchers: bool = True,
+        predict: bool = True,
+    ) -> ApplyOutcome:
+        """Apply an edge batch, repairing φ and patching watchers in place.
+
+        The batch is validated up front (:meth:`validate_batch`) and
+        applied atomically: a malformed op raises before any mutation.
         Deletions apply first, then insertions.  With ``incremental=True``
-        and a fresh tracker attached (:meth:`enable_incremental`), each op
-        runs the localized φ repair; afterwards every registered watcher
-        exposing a ``patch`` method — a
+        and a fresh tracker attached (:meth:`enable_incremental`), the
+        whole batch routes through
+        :meth:`~repro.maintenance.incremental.IncrementalBitruss.apply_batch`
+        — one region per op, butterfly-disjoint regions merged into single
+        multi-seed peels — and afterwards every registered watcher exposing
+        a ``patch`` method — a
         :class:`~repro.service.artifacts.DecompositionArtifact` or
         :class:`~repro.service.engine.QueryEngine` — is handed the patched
-        snapshot and becomes fresh again, so the batch never surfaces a
-        ``StaleArtifactError`` to readers.  Watchers without ``patch`` stay
-        invalidated as before.
+        snapshot **once** (single version bump, one selective cache
+        invalidation at the batch's ``max_affected_k``), so the batch never
+        surfaces a ``StaleArtifactError`` to readers.  Watchers without
+        ``patch`` stay invalidated as before.
 
         Parameters
         ----------
         inserts, deletes:
             ``(u, v)`` pairs; the usual :class:`ValueError` surface applies
-            (out-of-range endpoints, duplicate insert, missing delete).
+            (out-of-range endpoints, duplicate op, duplicate insert,
+            missing delete), raised before anything is applied.
         incremental:
             ``False`` forces the plain support-only mutators (watchers are
             left stale, as historical ``insert_edge`` loops did).
         max_region_fraction:
-            Per-op region budget as a fraction of the current edge count;
-            an op whose affected region grows past it aborts the φ repair
-            (tracker goes dirty, remaining ops apply support-only) so the
-            caller can fall back to a full rebuild.  ``None`` = unbounded.
+            Ceiling on the per-op region budget as a fraction of the
+            current edge count; the effective budget is the tracker's
+            :class:`~repro.maintenance.incremental.AdaptiveBudget` below
+            that ceiling.  An op that exceeds it (or is predicted to)
+            aborts the φ repair — tracker goes dirty, remaining ops apply
+            support-only — so the caller can fall back to one full
+            rebuild.  ``None`` = unbounded.
         patch_watchers:
             ``False`` skips the watcher patching (the server's update
             manager does its own hot-swap on the event loop).
+        predict:
+            Skip the region BFS for ops whose bound × first-layer estimate
+            already exceeds the budget (no abort cost; the batch falls
+            back as if the search had aborted).
 
         Returns
         -------
@@ -373,37 +461,34 @@ class DynamicBipartiteGraph:
         >>> _ = g.enable_incremental()
         >>> engine = QueryEngine.from_graph(g.snapshot())
         >>> g.register_artifact(engine)
-        >>> outcome = g.apply(inserts=[(2, 0), (2, 1)])
+        >>> outcome = g.apply_batch(inserts=[(2, 0), (2, 1)])
         >>> outcome.incremental and not engine.stale
         True
         >>> engine.max_k(upper=2)
         2
         """
+        inserts, deletes = self.validate_batch(inserts, deletes)
         outcome = ApplyOutcome()
         tracker = self.tracker
         use_tracker = (
             incremental and tracker is not None and not tracker.dirty
         )
-        for kind, edges in (("delete", deletes), ("insert", inserts)):
-            for u, v in edges:
-                if use_tracker:
-                    cap = None
-                    if max_region_fraction is not None:
-                        cap = int(max_region_fraction * max(1, self.num_edges))
-                    op = tracker.delete if kind == "delete" else tracker.insert
-                    report = op(u, v, max_region_edges=cap)
-                    outcome.reports.append(report)
-                    delta = report.butterflies
-                    outcome.butterfly_delta += (
-                        delta if kind == "insert" else -delta
-                    )
-                    if report.fallback:
-                        use_tracker = False
-                elif kind == "delete":
-                    outcome.butterfly_delta -= self.delete_edge(u, v)
-                else:
-                    outcome.butterfly_delta += self.insert_edge(u, v)
-        outcome.incremental = use_tracker and bool(outcome.reports)
+        if use_tracker:
+            batch = tracker.apply_batch(
+                inserts,
+                deletes,
+                budget_fraction=max_region_fraction,
+                predict=predict,
+            )
+            outcome.batch = batch
+            outcome.reports = batch.reports
+            outcome.butterfly_delta = batch.butterfly_delta
+            outcome.incremental = not batch.fallback and bool(batch.reports)
+        else:
+            for u, v in deletes:
+                outcome.butterfly_delta -= self.delete_edge(u, v)
+            for u, v in inserts:
+                outcome.butterfly_delta += self.insert_edge(u, v)
         if not (outcome.incremental and patch_watchers and self._watchers):
             return outcome
 

@@ -40,6 +40,22 @@ engines can be patched in place.  When a mutation's region outgrows the
 caller's budget (``max_region_edges``), the tracker marks itself dirty and
 the caller falls back to the full rebuild path — exactness is never traded
 for locality.
+
+**Batch path.** :meth:`IncrementalBitruss.apply_batch` amortizes the three
+steps across a whole mutation batch: each op collects its region as usual,
+but the sub-peel is *deferred* — pending regions accumulate until the batch
+ends or a later op's butterflies touch a pending interior edge (detected
+before any stale φ is read), at which point every pending region is merged
+into **one** multi-seed :func:`peel_region` call.  Coexisting pending
+regions are provably butterfly-disjoint (a shared butterfly would have
+triggered the conflict flush), so the merged peel is bitwise identical to
+peeling them one by one.  Two more batch-only economics fixes ride along:
+a **fallback predictor** (h-index bound × first-layer candidate count)
+skips the region BFS entirely for ops that will predictably exceed the
+budget — the old abort cost was ~5x a successful repair — and the budget
+itself adapts via an EWMA of observed region sizes
+(:class:`AdaptiveBudget`), so residual aborts stay cheap instead of paying
+the static ``rebuild_threshold × m`` work cap.
 """
 
 from __future__ import annotations
@@ -62,6 +78,10 @@ Edge = Tuple[int, int]
 #: A butterfly as its canonical vertex quadruple:
 #: ``(upper_lo, upper_hi, lower_lo, lower_hi)``.
 FlyKey = Tuple[int, int, int, int]
+
+#: Region search outcomes beyond a successful collection.
+_BUDGET = "budget"
+_CONFLICT = "conflict"
 
 
 class DirtyTrackerError(RuntimeError):
@@ -126,6 +146,133 @@ class RepairReport:
         return max(levels)
 
 
+@dataclass
+class AdaptiveBudget:
+    """Region budget that tracks the workload instead of a static fraction.
+
+    The old budget was ``rebuild_threshold × m`` — tuned for "how big a
+    region is still cheaper than a rebuild", which is the right *ceiling*
+    but a terrible *abort bound*: the search's work cap scales with the
+    budget, so every hopeless hub-edge search paid ~32× the ceiling in
+    wedge enumerations before giving up.  This class keeps an EWMA of the
+    region sizes that actually succeeded and caps the search at
+    ``headroom ×`` that scale (never below ``floor``, never above the
+    caller's ceiling).  Typical regions still fit with an order of
+    magnitude to spare; hopeless ones abort after a fraction of the old
+    work.
+
+    ``enabled=False`` restores the static ceiling-only behaviour
+    (``--no-adaptive-budget`` on the serve CLI).
+    """
+
+    alpha: float = 0.25
+    headroom: float = 8.0
+    floor: int = 64
+    enabled: bool = True
+    ewma: Optional[float] = None
+    samples: int = 0
+
+    def observe(self, region_size: int) -> None:
+        """Feed one successfully collected region size into the EWMA."""
+        if region_size <= 0:
+            return
+        self.samples += 1
+        if self.ewma is None:
+            self.ewma = float(region_size)
+        else:
+            self.ewma = (1.0 - self.alpha) * self.ewma + self.alpha * region_size
+
+    def cap(self, num_edges: int, fraction: Optional[float]) -> Optional[int]:
+        """Current region budget in edges (``None`` = unbounded).
+
+        ``fraction`` is the legacy ``rebuild_threshold`` ceiling; before the
+        first observation (or when disabled) it is the whole budget, after
+        that it only bounds the adaptive cap from above.  ``fraction=None``
+        means the caller has no rebuild fallback at all, so no budget is
+        imposed — adaptivity only ever *tightens* a finite ceiling.
+        """
+        if fraction is None:
+            return None
+        ceiling = int(fraction * max(1, num_edges))
+        if not self.enabled or self.ewma is None:
+            return ceiling
+        return min(ceiling, max(self.floor, int(self.headroom * self.ewma)))
+
+
+@dataclass
+class _PendingRegion:
+    """A collected-but-not-yet-peeled region awaiting the batch flush."""
+
+    region: List[Edge]
+    flies: Dict[FlyKey, List[Edge]]
+    report: RepairReport
+    #: Set for insert ops: the new edge's ``changed`` entry is rewritten to
+    #: ``(-1, φ_new)`` after the peel lands.
+    inserted: Optional[Edge] = None
+
+
+@dataclass
+class _BatchState:
+    """Per-:meth:`IncrementalBitruss.apply_batch` bookkeeping."""
+
+    max_region_edges: Optional[int]
+    budget_fraction: Optional[float]
+    predict: bool
+    pending: List[_PendingRegion] = field(default_factory=list)
+    pending_edges: Set[Edge] = field(default_factory=set)
+    predicted_fallbacks: int = 0
+    budget_aborts: int = 0
+    conflict_flushes: int = 0
+    merged_peels: int = 0
+    regions_peeled: int = 0
+
+
+@dataclass
+class BatchReport:
+    """What one :meth:`IncrementalBitruss.apply_batch` call did.
+
+    ``reports`` holds one :class:`RepairReport` per op in application order
+    (deletes first, then inserts); the batch-level counters summarize the
+    deferred-peel machinery: ``merged_peels`` is how many multi-seed
+    :func:`peel_region` calls covered the batch's ``regions_peeled``
+    regions, and ``conflict_flushes`` counts early flushes forced by
+    overlapping regions.
+    """
+
+    reports: List[RepairReport] = field(default_factory=list)
+    predicted_fallbacks: int = 0
+    budget_aborts: int = 0
+    conflict_flushes: int = 0
+    merged_peels: int = 0
+    regions_peeled: int = 0
+
+    @property
+    def fallback(self) -> bool:
+        """True when any op aborted or was predicted to — φ needs a rebuild."""
+        return any(report.fallback for report in self.reports)
+
+    @property
+    def butterfly_delta(self) -> int:
+        """Net change in butterfly count across the batch."""
+        return sum(
+            report.butterflies if report.op == "insert" else -report.butterflies
+            for report in self.reports
+        )
+
+    @property
+    def region_size(self) -> int:
+        """Total edges whose φ was recomputed across the batch."""
+        return sum(report.region_size for report in self.reports)
+
+    @property
+    def max_affected_k(self) -> int:
+        """Highest level whose k-bitruss may differ — the batch's single
+        selective cache-invalidation point."""
+        return max(
+            (report.max_affected_k for report in self.reports), default=0
+        )
+
+
 class IncrementalBitruss:
     """Maintain exact per-edge bitruss numbers on a dynamic graph.
 
@@ -170,6 +317,9 @@ class IncrementalBitruss:
         self._phi: Dict[Edge, int] = dict(phi)
         self._check_coverage()
         self.dirty = False
+        #: Adaptive region budget fed by :meth:`apply_batch`; callers may
+        #: flip ``budget.enabled`` off to restore the static threshold math.
+        self.budget = AdaptiveBudget()
 
     # ------------------------------------------------------------ plumbing
 
@@ -186,8 +336,10 @@ class IncrementalBitruss:
         """Current bitruss number of edge ``(u, v)``."""
         if self.dirty:
             raise DirtyTrackerError(
-                "tracker lost sync after a region-budget fallback; reseed() "
-                "it from a fresh decomposition"
+                "tracker lost sync after a region-budget fallback; a "
+                "serving deployment reseeds it automatically once the "
+                "scheduled rebuild lands — offline callers must reseed() "
+                "from a fresh decomposition"
             )
         try:
             return self._phi[(u, v)]
@@ -254,7 +406,8 @@ class IncrementalBitruss:
         bound: int,
         mode: str,
         max_region_edges: Optional[int],
-    ) -> Optional[Tuple[List[Edge], Dict[FlyKey, List[Edge]]]]:
+        forbidden: Optional[Set[Edge]] = None,
+    ):
         """BFS over butterfly adjacency from ``seeds`` under the mode's rule.
 
         ``mode="insert"`` expands onto any butterfly partner with
@@ -267,9 +420,15 @@ class IncrementalBitruss:
         connecting it to the cascade.  Delete regions therefore descend in
         φ from the seeds instead of flooding the whole ``φ ≤ K`` component.
 
+        ``forbidden`` is the batch path's pending-interior set: those edges
+        hold *stale* φ (their peel is deferred), so the search bails with
+        :data:`_CONFLICT` the moment one appears in a touched butterfly —
+        before any decision reads its φ.
+
         Returns the region edges plus every butterfly touching the region
-        (keyed canonically, each holding its interior members), or ``None``
-        when ``max_region_edges`` was exceeded.
+        (keyed canonically, each holding its interior members),
+        :data:`_BUDGET` when ``max_region_edges`` was exceeded, or
+        :data:`_CONFLICT`.
         """
         phi = self._phi
         region: List[Edge] = []
@@ -289,21 +448,27 @@ class IncrementalBitruss:
             edge = stack.pop()
             region.append(edge)
             if max_region_edges is not None and len(region) > max_region_edges:
-                return None
+                return _BUDGET
             u, v = edge
             phi_self = phi[edge]
             partners = self._flies_through(u, v)
             work += len(partners)
             if max_work is not None and work > max_work:
-                return None
+                return _BUDGET
             for w, x in partners:
+                others = ((u, x), (w, v), (w, x))
+                if forbidden is not None and (
+                    others[0] in forbidden
+                    or others[1] in forbidden
+                    or others[2] in forbidden
+                ):
+                    return _CONFLICT
                 key = (min(u, w), max(u, w), min(v, x), max(v, x))
                 members = flies.get(key)
                 if members is None:
                     flies[key] = [edge]
                 elif edge not in members:
                     members.append(edge)
-                others = ((u, x), (w, v), (w, x))
                 if mode == "insert":
                     for other in others:
                         if other not in seen and phi[other] < bound:
@@ -320,33 +485,28 @@ class IncrementalBitruss:
                                 stack.append(other)
         return region, flies
 
-    def _repair(
+    def _search(
         self,
         seeds: Iterable[Edge],
         bound: int,
         mode: str,
         max_region_edges: Optional[int],
-        report: RepairReport,
-    ) -> RepairReport:
-        """Run the region search + sub-peel and patch ``self._phi``."""
-        with obs_phases.phase("region search"):
-            collected = self._collect_region(seeds, bound, mode, max_region_edges)
-        if collected is None:
-            self.mark_dirty()
-            report.fallback = True
-            obs_metrics.get_registry().counter(
-                "repro_incremental_budget_aborts_total",
-                "Region searches aborted by the max_region_edges budget "
-                "(each forces a full re-peel fallback).",
-            ).inc()
-            return report
-        region, flies = collected
-        report.region_size = len(region)
-        num_edges = self._dyn.num_edges
-        report.region_fraction = len(region) / num_edges if num_edges else 0.0
-        if not region:
-            return report
+        forbidden: Optional[Set[Edge]] = None,
+    ):
+        """Region search phase: collect + enumeration parity check.
 
+        Returns ``(region, flies)``, :data:`_BUDGET`, or :data:`_CONFLICT`.
+        The support-parity assert must run *here* (collect time), not at
+        the deferred peel: later batch mutations legitimately change
+        supports outside the pending regions.
+        """
+        with obs_phases.phase("region search"):
+            collected = self._collect_region(
+                seeds, bound, mode, max_region_edges, forbidden
+            )
+        if collected is _BUDGET or collected is _CONFLICT:
+            return collected
+        region, flies = collected
         if __debug__:
             # Safety net for the enumeration: a region edge's collected
             # butterfly count must equal its maintained support exactly.
@@ -358,34 +518,156 @@ class IncrementalBitruss:
                 assert count == self._dyn.support_of(eu, ev), (
                     f"butterfly enumeration out of sync at ({eu}, {ev})"
                 )
+        return region, flies
 
-        local_id = {edge: i for i, edge in enumerate(region)}
+    def _abort(self, report: RepairReport) -> RepairReport:
+        """Record a budget fallback: the tracker is dirty from here on."""
+        self.mark_dirty()
+        report.fallback = True
+        obs_metrics.get_registry().counter(
+            "repro_incremental_budget_aborts_total",
+            "Region searches aborted by the max_region_edges budget "
+            "(each forces a full re-peel fallback).",
+        ).inc()
+        return report
+
+    def _peel_pending(self, pending: List[_PendingRegion]) -> None:
+        """Peel every pending region in ONE multi-seed ``peel_region`` call.
+
+        Coexisting pending regions are butterfly-disjoint by construction
+        (any shared butterfly triggers a conflict flush before the second
+        region goes pending), so concatenating them into a single local
+        index space peels each connected component exactly as a standalone
+        call would — at one call's overhead.  Exterior expiry levels are
+        read *now*, which is safe for the same reason: a pending region's
+        exterior edge is never another pending region's interior (the
+        shared butterfly would have conflicted), so every φ read here is
+        exact.
+        """
+        region: List[Edge] = []
+        local_id: Dict[Edge, int] = {}
+        for entry in pending:
+            for edge in entry.region:
+                local_id[edge] = len(region)
+                region.append(edge)
+        if not region:
+            return
         fly_edges: List[List[int]] = []
         fly_expiry: List[int] = []
-        for (u_lo, u_hi, v_lo, v_hi), members in flies.items():
-            interior = [local_id[m] for m in members]
-            expiry = NO_EXPIRY
-            if len(members) < 4:
-                member_set = set(members)
-                exterior_phi = [
-                    self._phi[e]
-                    for e in (
-                        (u_lo, v_lo), (u_lo, v_hi), (u_hi, v_lo), (u_hi, v_hi)
-                    )
-                    if e not in member_set
-                ]
-                expiry = min(exterior_phi)
-            fly_edges.append(interior)
-            fly_expiry.append(expiry)
-
+        for entry in pending:
+            for (u_lo, u_hi, v_lo, v_hi), members in entry.flies.items():
+                interior = [local_id[m] for m in members]
+                expiry = NO_EXPIRY
+                if len(members) < 4:
+                    member_set = set(members)
+                    exterior_phi = [
+                        self._phi[e]
+                        for e in (
+                            (u_lo, v_lo),
+                            (u_lo, v_hi),
+                            (u_hi, v_lo),
+                            (u_hi, v_hi),
+                        )
+                        if e not in member_set
+                    ]
+                    expiry = min(exterior_phi)
+                fly_edges.append(interior)
+                fly_expiry.append(expiry)
         with obs_phases.phase("region peel"):
             new_phi = peel_region(len(region), fly_edges, fly_expiry)
-        for edge, value in zip(region, new_phi.tolist()):
-            old = self._phi[edge]
-            if old != value:
-                report.changed[edge] = (old, value)
-                self._phi[edge] = value
+        values = new_phi.tolist()
+        for entry in pending:
+            report = entry.report
+            for edge in entry.region:
+                old = self._phi[edge]
+                value = values[local_id[edge]]
+                if old != value:
+                    report.changed[edge] = (old, value)
+                    self._phi[edge] = value
+            if entry.inserted is not None:
+                report.changed[entry.inserted] = (
+                    -1,
+                    self._phi[entry.inserted],
+                )
+
+    def _flush(self, state: _BatchState) -> None:
+        """Apply every deferred peel and clear the pending set."""
+        if not state.pending:
+            return
+        state.merged_peels += 1
+        state.regions_peeled += len(state.pending)
+        self._peel_pending(state.pending)
+        state.pending.clear()
+        state.pending_edges.clear()
+
+    def _repair(
+        self,
+        seeds: Iterable[Edge],
+        bound: int,
+        mode: str,
+        max_region_edges: Optional[int],
+        report: RepairReport,
+    ) -> RepairReport:
+        """Immediate-mode repair: search, then peel right away."""
+        found = self._search(seeds, bound, mode, max_region_edges)
+        if found is _BUDGET:
+            return self._abort(report)
+        region, flies = found
+        report.region_size = len(region)
+        num_edges = self._dyn.num_edges
+        report.region_fraction = len(region) / num_edges if num_edges else 0.0
+        if region:
+            self._peel_pending(
+                [_PendingRegion(region=region, flies=flies, report=report)]
+            )
         return report
+
+    # ------------------------------------------------- shared op helpers
+
+    def _insert_bound(
+        self, u: int, v: int, partners: List[Tuple[int, int]]
+    ) -> int:
+        """h-index bound on ``φ_new(u, v)`` over its butterflies.
+
+        A butterfly survives at level k only if all four of its edges do,
+        and φ ≤ support always holds, so ``k* ≤ max{k : #{B ∋ e₀ :
+        min support over B} ≥ k}``.  ``partners`` are the wedge completions
+        of ``(u, v)``; supports are read post-insert.
+        """
+        mins = sorted(
+            (
+                min(
+                    self._dyn.support_of(u, x),
+                    self._dyn.support_of(w, v),
+                    self._dyn.support_of(w, x),
+                )
+                for w, x in partners
+            ),
+            reverse=True,
+        )
+        bound = 0
+        for i, value in enumerate(mins):
+            bound = max(bound, min(value, i + 1))
+        return bound
+
+    def _delete_seeds(
+        self, u: int, v: int, bound: int, partners: List[Tuple[int, int]]
+    ) -> List[Edge]:
+        """Seeds for a delete's region: partner edges that attain the
+        minimum φ of a butterfly through ``(u, v)`` — only a butterfly
+        alive at the candidate's own level can pull it down when it dies
+        (the min includes ``(u, v)``'s φ, i.e. ``bound``)."""
+        seeds: List[Edge] = []
+        seeded: Set[Edge] = set()
+        for w, x in partners:
+            others = ((u, x), (w, v), (w, x))
+            fly_min = min(bound, *(self._phi[e] for e in others))
+            if fly_min > 0:  # a φ = 0 edge can never drop
+                for edge in others:
+                    if self._phi[edge] == fly_min and edge not in seeded:
+                        seeded.add(edge)
+                        seeds.append(edge)
+        return seeds
 
     # ----------------------------------------------------------- mutation
 
@@ -422,22 +704,7 @@ class IncrementalBitruss:
             # moved anywhere, so the decomposition is already exact.
             return report
 
-        # h-index bound on φ_new(u, v): a butterfly survives at level k
-        # only if all four of its edges do, and φ ≤ support always.
-        mins = sorted(
-            (
-                min(
-                    self._dyn.support_of(u, x),
-                    self._dyn.support_of(w, v),
-                    self._dyn.support_of(w, x),
-                )
-                for w, x in self._flies_through(u, v)
-            ),
-            reverse=True,
-        )
-        bound = 0
-        for i, value in enumerate(mins):
-            bound = max(bound, min(value, i + 1))
+        bound = self._insert_bound(u, v, self._flies_through(u, v))
         report.k_bound = bound
         report.changed[(u, v)] = (-1, 0)
         if bound == 0:
@@ -473,19 +740,7 @@ class IncrementalBitruss:
             self._dyn.delete_edge(u, v)
             raise AssertionError("unreachable")  # pragma: no cover
         bound = self._phi[(u, v)]
-        # Seeds: partner edges that attain the minimum φ of a butterfly
-        # through (u, v) — only a butterfly alive at the candidate's own
-        # level can pull it down when it dies (min includes (u, v)'s φ).
-        seeds: List[Edge] = []
-        seeded: Set[Edge] = set()
-        for w, x in self._flies_through(u, v):
-            others = ((u, x), (w, v), (w, x))
-            fly_min = min(bound, *(self._phi[e] for e in others))
-            if fly_min > 0:  # a φ = 0 edge can never drop
-                for edge in others:
-                    if self._phi[edge] == fly_min and edge not in seeded:
-                        seeded.add(edge)
-                        seeds.append(edge)
+        seeds = self._delete_seeds(u, v, bound, self._flies_through(u, v))
         destroyed = self._dyn.delete_edge(u, v)
         del self._phi[(u, v)]
         report = RepairReport(
@@ -496,6 +751,280 @@ class IncrementalBitruss:
             # sits at φ = 0 (φ ≥ 0 cannot drop further): nothing to repair.
             return report
         return self._repair(seeds, bound, "delete", max_region_edges, report)
+
+    # -------------------------------------------------------- batch path
+
+    def _conflicts(
+        self,
+        edge: Optional[Edge],
+        partners: List[Tuple[int, int]],
+        u: int,
+        v: int,
+        state: _BatchState,
+    ) -> bool:
+        """True when an op's butterflies touch a pending interior edge.
+
+        Checked against the *pre-mutation* graph before anything is
+        applied: the mutation creates/destroys exactly the butterflies
+        spanned by ``partners``, so a clear here guarantees the pending
+        regions' collected butterfly sets (and their supports, and their
+        exterior φ reads) stay valid after the mutation lands.
+        """
+        pending = state.pending_edges
+        if not pending:
+            return False
+        if edge is not None and edge in pending:
+            return True
+        for w, x in partners:
+            if (
+                (u, x) in pending
+                or (w, v) in pending
+                or (w, x) in pending
+            ):
+                return True
+        return False
+
+    def _predicted_blowout(
+        self,
+        bound: int,
+        first_layer: int,
+        cap: Optional[int],
+        state: _BatchState,
+    ) -> bool:
+        """Cheap fallback predictor: h-index bound × first-layer estimate.
+
+        The insert BFS expands through edges below ``bound`` for up to
+        ``bound`` cascading levels, so ``bound × first-layer candidates``
+        estimates the region scale from quantities the op already computed
+        — no BFS, no abort cost.  Mispredictions are economics, never
+        correctness: a false positive skips a repair that would have fit
+        (the batch falls back to one rebuild), a false negative runs the
+        search and hits the work cap as before.
+        """
+        if not state.predict or cap is None:
+            return False
+        estimate = max(1, bound) * max(1, first_layer)
+        return estimate > cap
+
+    def _cap_for_op(self, state: _BatchState) -> Optional[int]:
+        if state.max_region_edges is not None:
+            return state.max_region_edges
+        return self.budget.cap(self._dyn.num_edges, state.budget_fraction)
+
+    def _batch_fallback(
+        self, report: RepairReport, state: _BatchState, predicted: bool
+    ) -> RepairReport:
+        """Fallback inside a batch: land pending peels, then go dirty.
+
+        The pending regions were collected against exact φ and are
+        untouched by this op's mutation (the conflict check cleared it), so
+        their deferred peels are still valid — applying them keeps φ
+        repaired up to the last healthy op before the tracker goes dirty.
+        """
+        self._flush(state)
+        registry = obs_metrics.get_registry()
+        if predicted:
+            state.predicted_fallbacks += 1
+            registry.counter(
+                "repro_incremental_predicted_fallbacks_total",
+                "Ops whose region search was skipped because the "
+                "bound × first-layer estimate exceeded the budget.",
+            ).inc()
+            self.mark_dirty()
+            report.fallback = True
+            return report
+        state.budget_aborts += 1
+        registry.counter(
+            "repro_incremental_predictor_misses_total",
+            "Region searches the predictor allowed that still aborted "
+            "on the budget.",
+        ).inc()
+        return self._abort(report)
+
+    def _defer(
+        self,
+        region: List[Edge],
+        flies: Dict[FlyKey, List[Edge]],
+        report: RepairReport,
+        state: _BatchState,
+        inserted: Optional[Edge] = None,
+    ) -> None:
+        """Queue a collected region for the batch's merged peel."""
+        report.region_size = len(region)
+        num_edges = self._dyn.num_edges
+        report.region_fraction = len(region) / num_edges if num_edges else 0.0
+        self.budget.observe(len(region))
+        if state.predict:
+            obs_metrics.get_registry().counter(
+                "repro_incremental_predictor_hits_total",
+                "Region searches the predictor allowed that completed "
+                "within budget.",
+            ).inc()
+        if not region:
+            if inserted is not None:
+                report.changed[inserted] = (-1, self._phi[inserted])
+            return
+        state.pending.append(
+            _PendingRegion(
+                region=region, flies=flies, report=report, inserted=inserted
+            )
+        )
+        state.pending_edges.update(region)
+
+    def _search_batched(
+        self,
+        seeds: List[Edge],
+        bound: int,
+        mode: str,
+        cap: Optional[int],
+        state: _BatchState,
+    ):
+        """Search with conflict detection; one flush-and-retry on overlap."""
+        found = self._search(seeds, bound, mode, cap, state.pending_edges)
+        if found is _CONFLICT:
+            state.conflict_flushes += 1
+            self._flush(state)
+            found = self._search(seeds, bound, mode, cap)
+        return found
+
+    def _insert_batched(
+        self, u: int, v: int, state: _BatchState
+    ) -> RepairReport:
+        partners = self._flies_through(u, v)  # pre-insert completions
+        if self._conflicts(None, partners, u, v, state):
+            state.conflict_flushes += 1
+            self._flush(state)
+        created = self._dyn.insert_edge(u, v)
+        report = RepairReport(op="insert", edge=(u, v), butterflies=created)
+        self._phi[(u, v)] = 0
+        if created == 0:
+            return report
+        bound = self._insert_bound(u, v, partners)
+        report.k_bound = bound
+        report.changed[(u, v)] = (-1, 0)
+        if bound == 0:
+            return report
+        cap = self._cap_for_op(state)
+        if state.predict and cap is not None:
+            phi = self._phi
+            first_layer = set()
+            for w, x in partners:
+                for other in ((u, x), (w, v), (w, x)):
+                    if phi[other] < bound:
+                        first_layer.add(other)
+            if self._predicted_blowout(bound, len(first_layer), cap, state):
+                return self._batch_fallback(report, state, predicted=True)
+        found = self._search_batched([(u, v)], bound, "insert", cap, state)
+        if found is _BUDGET:
+            return self._batch_fallback(report, state, predicted=False)
+        region, flies = found
+        self._defer(region, flies, report, state, inserted=(u, v))
+        return report
+
+    def _delete_batched(
+        self, u: int, v: int, state: _BatchState
+    ) -> RepairReport:
+        partners = self._flies_through(u, v)  # pre-delete enumeration
+        if self._conflicts((u, v), partners, u, v, state):
+            state.conflict_flushes += 1
+            self._flush(state)
+        bound = self._phi[(u, v)]
+        seeds = self._delete_seeds(u, v, bound, partners)
+        destroyed = self._dyn.delete_edge(u, v)
+        del self._phi[(u, v)]
+        report = RepairReport(
+            op="delete", edge=(u, v), butterflies=destroyed, k_bound=bound
+        )
+        if destroyed == 0 or bound == 0 or not seeds:
+            # Either no butterfly died, or every edge that lost one already
+            # sits at φ = 0 (φ ≥ 0 cannot drop further): nothing to repair.
+            return report
+        cap = self._cap_for_op(state)
+        if self._predicted_blowout(bound, len(seeds), cap, state):
+            return self._batch_fallback(report, state, predicted=True)
+        found = self._search_batched(seeds, bound, "delete", cap, state)
+        if found is _BUDGET:
+            return self._batch_fallback(report, state, predicted=False)
+        region, flies = found
+        self._defer(region, flies, report, state)
+        return report
+
+    def apply_batch(
+        self,
+        inserts: Iterable[Edge] = (),
+        deletes: Iterable[Edge] = (),
+        *,
+        max_region_edges: Optional[int] = None,
+        budget_fraction: Optional[float] = None,
+        predict: bool = True,
+    ) -> BatchReport:
+        """Apply a mutation batch with deferred, merged region peels.
+
+        The whole batch is validated against the current graph *before*
+        anything mutates (see
+        :meth:`DynamicBipartiteGraph.validate_batch`); a bad op raises
+        ``ValueError`` and leaves graph and tracker untouched.  Deletes
+        apply before inserts, so a delete+insert of the same edge is a
+        toggle.
+
+        Each op collects its region as in :meth:`insert` / :meth:`delete`,
+        but peels are deferred and merged: butterfly-disjoint regions
+        accumulate until the batch ends (or an overlap forces a flush) and
+        then re-peel in one multi-seed :func:`peel_region` call.  The
+        region budget defaults to the tracker's :class:`AdaptiveBudget`
+        bounded by ``budget_fraction × m`` (``max_region_edges``
+        overrides both), and ``predict=True`` skips the BFS for ops the
+        bound × first-layer estimate marks hopeless.  After any fallback
+        (predicted or aborted) the tracker is dirty and the remaining ops
+        apply support-only, exactly as the per-op path behaves.
+
+        Returns
+        -------
+        BatchReport
+            Per-op reports plus batch-level predictor/peel counters.
+        """
+        inserts = [(int(u), int(v)) for u, v in inserts]
+        deletes = [(int(u), int(v)) for u, v in deletes]
+        self._dyn.validate_batch(inserts, deletes)
+        state = _BatchState(
+            max_region_edges=max_region_edges,
+            budget_fraction=budget_fraction,
+            predict=predict,
+        )
+        batch = BatchReport()
+        for kind, (u, v) in [("delete", e) for e in deletes] + [
+            ("insert", e) for e in inserts
+        ]:
+            if self.dirty:
+                # φ is already lost: keep the mirror exact, skip repair.
+                if kind == "insert":
+                    created = self._dyn.insert_edge(u, v)
+                    report = RepairReport(
+                        op="insert",
+                        edge=(u, v),
+                        butterflies=created,
+                        fallback=True,
+                    )
+                else:
+                    destroyed = self._dyn.delete_edge(u, v)
+                    report = RepairReport(
+                        op="delete",
+                        edge=(u, v),
+                        butterflies=destroyed,
+                        fallback=True,
+                    )
+            elif kind == "insert":
+                report = self._insert_batched(u, v, state)
+            else:
+                report = self._delete_batched(u, v, state)
+            batch.reports.append(report)
+        self._flush(state)
+        batch.predicted_fallbacks = state.predicted_fallbacks
+        batch.budget_aborts = state.budget_aborts
+        batch.conflict_flushes = state.conflict_flushes
+        batch.merged_peels = state.merged_peels
+        batch.regions_peeled = state.regions_peeled
+        return batch
 
     def verify(self) -> bool:
         """Parity check against a fresh static decomposition (tests/debug)."""

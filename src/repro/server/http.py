@@ -1199,10 +1199,23 @@ class BitrussServer:
                     "Incremental repairs that fell back to a rebuild.",
                     ("dataset",),
                 ),
+                "predicted_fallbacks": reg.counter(
+                    "repro_updates_predicted_fallbacks_total",
+                    "Ops the fallback predictor routed past the region "
+                    "search (no abort cost paid).",
+                    ("dataset",),
+                ),
             }
+            dirty_g = reg.gauge(
+                "repro_incremental_tracker_dirty",
+                "1 while a dataset's phi tracker has lost sync and is "
+                "waiting on the scheduled rebuild to reseed it.",
+                ("dataset",),
+            )
             for name, entry in upd.items():
                 for key, fam in fams.items():
                     fam.set_to(entry.get(key, 0) or 0, (name,))
+                dirty_g.set(1.0 if entry.get("tracker_dirty") else 0.0, (name,))
         return reg.to_prometheus(openmetrics=openmetrics)
 
     def __repr__(self) -> str:

@@ -8,18 +8,26 @@ mirror of its graph; ``POST /{ds}/edges`` applies insert/delete ops to the
 mirror (exact incremental butterfly supports, cheap) and then brings the
 served artifact back in sync one of two ways:
 
-* **Incremental patch** (the default for small batches): the mirror's
-  :class:`~repro.maintenance.incremental.IncrementalBitruss` tracker
-  repairs φ exactly inside each op's affected region, a patched artifact +
-  engine pair is built straight from the repaired φ — no decomposition —
-  and hot-swapped into the registry before the ``POST`` even returns.
-  Readers never see a stale version.
+* **Incremental batch patch** (the default): the whole POST batch is
+  validated atomically, canonicalized to its net effect (an
+  insert-then-delete of the same edge cancels out), and routed through the
+  mirror tracker's
+  :meth:`~repro.maintenance.incremental.IncrementalBitruss.apply_batch` —
+  one region per op, butterfly-disjoint regions merged into single
+  multi-seed peels.  One patched artifact + engine pair is built straight
+  from the repaired φ — no decomposition — and hot-swapped into the
+  registry before the ``POST`` even returns: one version bump per batch,
+  with query-cache entries above the batch's ``max_affected_k`` carried
+  across the swap.  Readers never see a stale version.
 * **Debounced parallel rebuild** (the fallback): when an op's affected
-  region crosses ``rebuild_threshold`` (as a fraction of the edge count),
+  region crosses the adaptive budget under ``rebuild_threshold`` (or the
+  tracker's predictor says it will, skipping the region search entirely),
   the batch is too large, or the tracker has lost sync, the live engine —
   registered ``allow_stale=True`` — keeps answering from the last
   published φ while a debounced background task re-decomposes off the hot
-  path and hot-swaps the fresh artifact in.
+  path and hot-swaps the fresh artifact in.  A burst of fallback batches
+  lands inside one debounce window and costs **one** rebuild, not one
+  per op.
 
 Debounce semantics: the rebuild waits for a quiet period of ``debounce``
 seconds after the *last* mutation, so an update burst costs one rebuild,
@@ -77,14 +85,26 @@ class UpdateManager:
         Repair φ in place for small batches (default) instead of always
         scheduling a rebuild.
     rebuild_threshold:
-        Per-op affected-region budget as a fraction of the mirror's edge
-        count; an op whose region outgrows it aborts the repair and falls
-        back to the debounced rebuild.  ``0`` disables incremental
-        patching outright (every region has at least one edge).
+        *Ceiling* on the per-op affected-region budget as a fraction of
+        the mirror's edge count; the effective budget is the tracker's
+        :class:`~repro.maintenance.incremental.AdaptiveBudget` (an EWMA
+        of observed region sizes) clamped below that ceiling.  An op
+        whose region outgrows the budget — or is predicted to — aborts
+        the repair and falls back to the debounced rebuild.  ``0``
+        disables incremental patching outright (every region has at
+        least one edge).
     max_incremental_batch:
-        Batches with more ops than this skip the per-op repair and go
+        Batches with more ops than this skip the batched repair and go
         straight to one debounced rebuild (a bulk load should not pay m
         localized re-peels).
+    predict:
+        Let the tracker skip the region search for ops whose h-index ×
+        first-layer estimate already exceeds the budget (default on; a
+        predicted fallback costs microseconds instead of an abort).
+    adaptive_budget:
+        Tighten each attached tracker's region budget from its EWMA of
+        observed region sizes (default on); off pins the budget at the
+        static ``rebuild_threshold`` ceiling.
     """
 
     def __init__(
@@ -98,6 +118,8 @@ class UpdateManager:
         incremental: bool = True,
         rebuild_threshold: float = 0.15,
         max_incremental_batch: int = 64,
+        predict: bool = True,
+        adaptive_budget: bool = True,
     ) -> None:
         if debounce < 0:
             raise ValueError("debounce must be non-negative")
@@ -114,6 +136,8 @@ class UpdateManager:
         self.incremental = incremental
         self.rebuild_threshold = rebuild_threshold
         self.max_incremental_batch = max_incremental_batch
+        self.predict = predict
+        self.adaptive_budget = adaptive_budget
         self._executor = executor
         self._dynamics: Dict[str, DynamicBipartiteGraph] = {}
         self._gen: Dict[str, int] = {}
@@ -124,6 +148,7 @@ class UpdateManager:
         self._last_error: Dict[str, Optional[str]] = {}
         self._patches: Dict[str, int] = {}
         self._fallbacks: Dict[str, int] = {}
+        self._predicted: Dict[str, int] = {}
 
     # ----------------------------------------------------------- wiring
 
@@ -159,6 +184,7 @@ class UpdateManager:
         self._last_error[name] = None
         self._patches[name] = 0
         self._fallbacks[name] = 0
+        self._predicted[name] = 0
         if self.incremental and dynamic.tracker is None:
             # Seed the φ tracker from the artifact being served — exact for
             # the mirror's current edge set, so no decomposition runs here.
@@ -168,6 +194,8 @@ class UpdateManager:
                 # A caller-supplied mirror that already drifted from the
                 # artifact: let the tracker compute its own seed.
                 dynamic.enable_incremental()
+        if dynamic.tracker is not None:
+            dynamic.tracker.budget.enabled = self.adaptive_budget
         return dynamic
 
     def is_mutable(self, name: str) -> bool:
@@ -180,20 +208,102 @@ class UpdateManager:
 
     # -------------------------------------------------------- mutations
 
+    @staticmethod
+    def _canonicalize(
+        dynamic: DynamicBipartiteGraph, ops: Sequence[Dict[str, object]]
+    ) -> "tuple[List[tuple], List[tuple]]":
+        """Validate a POST batch op by op and collapse it to its net effect.
+
+        Every op is checked — structure, endpoint ranges, membership
+        against the batch's *own simulated state* (so ``delete (u,v)``
+        right after ``insert (u,v)`` is legal) — before anything mutates;
+        the first offender raises :class:`MutationError` with ``applied ==
+        0`` attached.  Valid batches collapse per edge: an edge whose
+        presence ends where it started (insert-then-delete, or
+        delete-then-reinsert of a present edge) drops out entirely — the
+        final graph, hence the final φ, is identical either way — and the
+        rest canonicalize into deletes-first ``(inserts, deletes)`` lists.
+        """
+        def _bad(message: str) -> MutationError:
+            exc = MutationError(message)
+            exc.applied = 0  # type: ignore[attr-defined]
+            return exc
+
+        inserts: List[tuple] = []
+        deletes: List[tuple] = []
+        sim: Dict[tuple, bool] = {}
+        for index, op in enumerate(ops):
+            if not isinstance(op, dict):
+                raise _bad(f"op #{index} is not an object")
+            kind = op.get("op")
+            u, v = op.get("u"), op.get("v")
+            # Strict like the read side's validation: bools and floats
+            # would silently coerce to a *different* edge than the
+            # client named, corrupting the dataset.
+            if not all(
+                isinstance(x, int) and not isinstance(x, bool)
+                for x in (u, v)
+            ):
+                raise _bad(f"op #{index} needs integer 'u' and 'v' fields")
+            if kind not in ("insert", "delete"):
+                raise _bad(
+                    f"op #{index}: unknown op {kind!r} "
+                    "(choose 'insert' or 'delete')"
+                )
+            if not 0 <= u < dynamic.num_upper:
+                raise _bad(
+                    f"op #{index}: upper endpoint {u} out of range "
+                    f"[0, {dynamic.num_upper})"
+                )
+            if not 0 <= v < dynamic.num_lower:
+                raise _bad(
+                    f"op #{index}: lower endpoint {v} out of range "
+                    f"[0, {dynamic.num_lower})"
+                )
+            edge = (u, v)
+            present = (
+                sim[edge] if edge in sim else dynamic.has_edge(u, v)
+            )
+            if kind == "insert":
+                if present:
+                    raise _bad(
+                        f"op #{index}: edge ({u}, {v}) already present"
+                    )
+                sim[edge] = True
+            else:
+                if not present:
+                    raise _bad(f"op #{index}: edge ({u}, {v}) not present")
+                sim[edge] = False
+        for edge, present_after in sim.items():
+            present_before = dynamic.has_edge(*edge)
+            if present_after and not present_before:
+                inserts.append(edge)
+            elif present_before and not present_after:
+                deletes.append(edge)
+        return inserts, deletes
+
     def apply(self, name: str, ops: Sequence[Dict[str, object]]) -> Dict[str, object]:
-        """Apply edge ops; patch the served φ in place or schedule a rebuild.
+        """Apply one edge batch atomically; patch φ in place or rebuild.
 
-        Each op is ``{"op": "insert"|"delete", "u": int, "v": int}``.  Ops
-        apply sequentially; the first invalid op raises
-        :class:`MutationError` (earlier ops in the list stay applied — the
-        sync step still reconciles the artifact with whatever state the
-        mirror reached).
+        Each op is ``{"op": "insert"|"delete", "u": int, "v": int}``.  The
+        whole batch validates before anything mutates — structure,
+        endpoint ranges, and membership are checked against the batch's
+        own simulated state — so a bad op at position k raises
+        :class:`MutationError` with ``applied == 0`` and the mirror
+        untouched (no more half-applied prefixes).  Per-edge op sequences
+        then collapse to their net effect and the batch routes through the
+        tracker's batched repair: one region per op, butterfly-disjoint
+        regions merged into single multi-seed peels, a fallback predictor
+        and adaptive budget deciding per op whether the repair is worth
+        it.
 
-        With incremental maintenance enabled, a small batch whose per-op
-        affected regions stay under ``rebuild_threshold`` is repaired
-        exactly and hot-swapped before this call returns (``"rebuild":
-        "incremental"`` in the response); anything else schedules the
-        debounced background rebuild (``"rebuild": "scheduled"``).
+        A batch repaired in full is hot-swapped before this call returns
+        (``"rebuild": "incremental"``, exactly one version bump); a batch
+        that falls back — predicted or observed blowout, oversized batch,
+        dirty tracker — schedules the debounced background rebuild
+        (``"rebuild": "scheduled"``), and any burst of such batches inside
+        the debounce window coalesces into **one** rebuild.  A batch whose
+        ops cancel out entirely returns ``"not_needed"``.
         """
         if not self.is_mutable(name):
             raise MutationError(
@@ -202,89 +312,66 @@ class UpdateManager:
         dynamic = self._dynamics[name]
         if not isinstance(ops, Sequence) or isinstance(ops, (str, bytes)):
             raise MutationError("ops must be a list of edge operations")
+        inserts, deletes = self._canonicalize(dynamic, ops)
+        if ops:
+            obs_metrics.get_registry().histogram(
+                "repro_updates_batch_ops",
+                "Ops per accepted mutation batch.",
+                ("dataset",),
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            ).observe(float(len(ops)), (name,))
+        if not inserts and not deletes:
+            return {
+                "applied": len(ops),
+                "butterfly_delta": 0,
+                "num_edges": dynamic.num_edges,
+                "rebuild": "not_needed",
+            }
         tracker = dynamic.tracker
+        net_ops = len(inserts) + len(deletes)
         use_tracker = (
             self.incremental
             and tracker is not None
             and not tracker.dirty
-            and len(ops) <= self.max_incremental_batch
+            and net_ops <= self.max_incremental_batch
             and self.rebuild_threshold > 0.0
         )
-        # The plain mutators desync the tracker's φ; it must be declared
-        # dirty, but only once a mutation actually lands — a batch rejected
-        # wholesale (applied=0) leaves φ exact and must not force the next
-        # batch onto the rebuild path.
-        needs_dirty = tracker is not None and not tracker.dirty and not use_tracker
-        applied = 0
-        butterflies = 0
-        fell_back = False
-        error: Optional[MutationError] = None
-        try:
-            for op in ops:
-                if not isinstance(op, dict):
-                    raise MutationError(f"op #{applied} is not an object")
-                kind = op.get("op")
-                u, v = op.get("u"), op.get("v")
-                # Strict like the read side's validation: bools and floats
-                # would silently coerce to a *different* edge than the
-                # client named, corrupting the dataset.
-                if not all(
-                    isinstance(x, int) and not isinstance(x, bool)
-                    for x in (u, v)
-                ):
-                    raise MutationError(
-                        f"op #{applied} needs integer 'u' and 'v' fields"
-                    )
-                if kind not in ("insert", "delete"):
-                    raise MutationError(
-                        f"op #{applied}: unknown op {kind!r} "
-                        "(choose 'insert' or 'delete')"
-                    )
-                if use_tracker:
-                    assert tracker is not None
-                    cap = int(
-                        self.rebuild_threshold * max(1, dynamic.num_edges)
-                    )
-                    mutate = tracker.insert if kind == "insert" else tracker.delete
-                    report = mutate(u, v, max_region_edges=cap)
-                    delta = report.butterflies
-                    if report.fallback:
-                        # The region outgrew the budget: the mutation is
-                        # applied, φ is not repaired; remaining ops take
-                        # the plain path and one rebuild reconciles.
-                        use_tracker = False
-                        fell_back = True
-                elif kind == "insert":
-                    delta = dynamic.insert_edge(u, v)
-                else:
-                    delta = dynamic.delete_edge(u, v)
-                if needs_dirty:
-                    assert tracker is not None
-                    tracker.mark_dirty()
-                    needs_dirty = False
-                butterflies += delta if kind == "insert" else -delta
-                applied += 1
-        except ValueError as exc:
-            if not isinstance(exc, MutationError):
-                exc = MutationError(f"op #{applied}: {exc}")
-            exc.applied = applied  # type: ignore[attr-defined]
-            error = exc
-        mode = "not_needed"
-        if applied or fell_back:
-            self._mutations[name] += applied
-            if use_tracker and not fell_back:
-                self._patch(name)
+        self._mutations[name] += len(ops)
+        if use_tracker:
+            outcome = dynamic.apply_batch(
+                inserts,
+                deletes,
+                max_region_fraction=self.rebuild_threshold,
+                patch_watchers=False,
+                predict=self.predict,
+            )
+            if outcome.batch is not None:
+                self._predicted[name] += outcome.batch.predicted_fallbacks
+            if outcome.incremental:
+                self._patch(name, outcome=outcome)
                 mode = "incremental"
             else:
-                if fell_back:
-                    self._fallbacks[name] += 1
+                # Pending repairs were flushed before the tracker went
+                # dirty, so φ stays exact for everything already peeled;
+                # one debounced rebuild reconciles the rest.
+                self._fallbacks[name] += 1
                 self._schedule(name)
                 mode = "scheduled"
-        if error is not None:
-            raise error
+        else:
+            # The plain mutators desync the tracker's φ; declare it dirty
+            # up front — validation already passed, so the batch *will*
+            # land.  (A batch rejected wholesale never reaches here and
+            # leaves φ exact.)
+            if tracker is not None and not tracker.dirty:
+                tracker.mark_dirty()
+            outcome = dynamic.apply_batch(
+                inserts, deletes, incremental=False, patch_watchers=False
+            )
+            self._schedule(name)
+            mode = "scheduled"
         return {
-            "applied": applied,
-            "butterfly_delta": butterflies,
+            "applied": len(ops),
+            "butterfly_delta": outcome.butterfly_delta,
             "num_edges": dynamic.num_edges,
             "rebuild": mode,
         }
@@ -297,13 +384,19 @@ class UpdateManager:
                 self._refresh_loop(name)
             )
 
-    def _patch(self, name: str) -> None:
+    def _patch(self, name: str, outcome=None) -> None:
         """Publish the tracker's repaired φ as a fresh artifact + engine.
 
         No decomposition runs: the patched snapshot and φ come straight
         from the incremental tracker, the hierarchy is derived from them,
         and the pair is hot-swapped like a rebuild's would be — in-flight
         leases keep the old engine, later requests see the new version.
+        When the batch's :class:`~repro.maintenance.dynamic.ApplyOutcome`
+        is supplied, the new engine adopts the old engine's query-cache
+        entries that the batch provably left untouched (``community``
+        answers above the batch's ``max_affected_k``, ``max_k`` answers
+        for vertices outside its affected set) — one selective
+        invalidation per batch instead of a cold cache per publish.
 
         Deliberately synchronous on the loop thread, like ``apply()``
         itself: publishing before the ``POST`` returns keeps the mirror
@@ -334,6 +427,14 @@ class UpdateManager:
         engine = QueryEngine(
             artifact, cache_size=entry.cache_size, allow_stale=True
         )
+        if outcome is not None and outcome.reports:
+            engine.adopt_cache(
+                old_engine,
+                max_affected_k=outcome.max_affected_k,
+                affected_gids=DynamicBipartiteGraph._affected_gids(
+                    graph, outcome.reports
+                ),
+            )
         self.registry.swap(name, artifact, engine=engine)
         dynamic.unregister_artifact(old_engine)
         dynamic.register_artifact(engine)
@@ -452,6 +553,7 @@ class UpdateManager:
                 "mirror_edges": dyn.num_edges,
                 "incremental_patches": self._patches[name],
                 "incremental_fallbacks": self._fallbacks[name],
+                "predicted_fallbacks": self._predicted[name],
                 "tracker_dirty": bool(
                     dyn.tracker is not None and dyn.tracker.dirty
                 ),

@@ -213,6 +213,46 @@ class QueryEngine:
                 survivors[key] = value
         self._cache = survivors
 
+    def adopt_cache(
+        self,
+        predecessor: "QueryEngine",
+        *,
+        max_affected_k: Optional[int] = None,
+        affected_gids: Optional[set] = None,
+    ) -> int:
+        """Carry a predecessor engine's surviving cache across a hot-swap.
+
+        The server publishes a batch as a *new* engine (in-flight leases
+        keep the old one), which used to mean every publish started cold.
+        This applies :meth:`patch`'s selective-invalidation rule across
+        instances instead: ``community`` entries strictly above the batch's
+        ``max_affected_k`` and ``max_k`` entries for vertices outside
+        ``affected_gids`` are bitwise unaffected by the batch, so they are
+        copied into this engine's cache.  Entries are adopted only up to
+        the cache capacity; without both hints, or when the layer sizes
+        differ (the gid space shifted), nothing is adopted.
+
+        Returns the number of adopted entries.
+        """
+        if max_affected_k is None or affected_gids is None:
+            return 0
+        if (
+            self.graph.num_upper != predecessor.graph.num_upper
+            or self.graph.num_lower != predecessor.graph.num_lower
+        ):
+            return 0
+        adopted = 0
+        for key, value in predecessor._cache.items():
+            op = key[0]
+            if (op == "community" and key[1] > max_affected_k) or (
+                op == "max_k" and key[1] not in affected_gids
+            ):
+                if len(self._cache) >= self._cache_size:
+                    break
+                self._cache[key] = value
+                adopted += 1
+        return adopted
+
     def _check_fresh(self) -> None:
         if self.artifact.stale and not self.allow_stale:
             raise StaleArtifactError(

@@ -9,6 +9,7 @@ from repro.core.api import bitruss_decomposition
 from repro.core.peeling_engine import NO_EXPIRY, peel_region
 from repro.datasets import load_dataset
 from repro.maintenance import (
+    AdaptiveBudget,
     DirtyTrackerError,
     DynamicBipartiteGraph,
     IncrementalBitruss,
@@ -387,6 +388,18 @@ class TestPatchInPlace:
         assert tracker.phi_of(2, 0) == 2
         assert_exact(tracker)
 
+    def test_batch_patches_watchers_once(self):
+        """A batch of several ops bumps each watcher exactly once."""
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        dyn.enable_incremental()
+        artifact = build_artifact(dyn.snapshot(), algorithm=ALGORITHM)
+        dyn.register_artifact(artifact)
+        outcome = dyn.apply_batch(inserts=[(1, 1)], deletes=[(0, 1)])
+        assert outcome.incremental
+        assert outcome.patched == 1
+        assert len(outcome.reports) == 2
+        assert artifact.meta["patches"] == 1  # one bump for two ops
+
     def test_artifact_patch_counts_and_hash(self):
         dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
         dyn.enable_incremental()
@@ -400,3 +413,237 @@ class TestPatchInPlace:
         assert artifact.graph_hash != old_hash
         assert artifact.graph.num_edges == 4
         assert artifact.max_k == 1
+
+
+# ------------------------------------------------------------ batch repair
+
+
+class TestBatchRepair:
+    def test_batch_parity_overlapping_regions(self):
+        """Re-inserting two missing K_{2,4} edges in one batch: the second
+        op's region overlaps the first's pending peel, forcing a conflict
+        flush — φ must still land bitwise exact."""
+        edges = [(u, v) for u in range(2) for v in range(4)]
+        edges.remove((1, 3))
+        edges.remove((0, 2))
+        dyn = DynamicBipartiteGraph(2, 4, edges)
+        tracker = dyn.enable_incremental()
+        batch = tracker.apply_batch(inserts=[(1, 3), (0, 2)])
+        assert not batch.fallback
+        assert len(batch.reports) == 2
+        assert tracker.phi_of(0, 0) == 3
+        assert_exact(tracker)
+
+    def test_batch_disjoint_regions_merge_into_one_peel(self):
+        """Two ops in far-apart components collect butterfly-disjoint
+        regions; the flush peels both in ONE multi-seed call."""
+        edges_a = [(0, 0), (0, 1), (1, 0)]  # open 2x2
+        edges_b = [(u, v) for u in (2, 3, 4) for v in (2, 3, 4)]  # K33
+        dyn = DynamicBipartiteGraph(5, 5, edges_a + edges_b)
+        tracker = dyn.enable_incremental()
+        batch = tracker.apply_batch(
+            inserts=[(1, 1)], deletes=[(2, 2)]
+        )
+        assert not batch.fallback
+        assert batch.regions_peeled == 2
+        assert batch.merged_peels == 1  # the region union
+        assert batch.conflict_flushes == 0
+        assert_exact(tracker)
+
+    def test_batch_toggle_same_edge_is_exact(self):
+        """delete + insert of the same edge inside one batch (deletes run
+        first) restores φ bitwise."""
+        edges = [(u, v) for u in (0, 1, 2) for v in (0, 1, 2)]
+        dyn = DynamicBipartiteGraph(3, 3, edges)
+        tracker = dyn.enable_incremental()
+        before = tracker.phi_map()
+        batch = tracker.apply_batch(inserts=[(1, 1)], deletes=[(1, 1)])
+        assert not batch.fallback
+        assert tracker.phi_map() == before
+        assert_exact(tracker)
+
+    def test_predicted_fallback_skips_search(self):
+        """A cap of 0 routes every op through the predictor: no region
+        search, no abort, tracker dirty, mutation still applied."""
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        tracker = dyn.enable_incremental()
+        batch = tracker.apply_batch(inserts=[(1, 1)], max_region_edges=0)
+        assert batch.fallback
+        assert batch.predicted_fallbacks == 1
+        assert batch.budget_aborts == 0
+        assert tracker.dirty
+        assert dyn.has_edge(1, 1)
+        assert dyn.support_of(0, 0) == 1
+
+    def test_predict_off_pays_the_abort(self):
+        """predict=False runs the search and aborts at the budget — the
+        historical behaviour, now opt-in."""
+        dyn = DynamicBipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        tracker = dyn.enable_incremental()
+        batch = tracker.apply_batch(
+            inserts=[(1, 1)], max_region_edges=0, predict=False
+        )
+        assert batch.fallback
+        assert batch.predicted_fallbacks == 0
+        assert batch.budget_aborts == 1
+        assert tracker.dirty
+
+    def test_fallback_mid_batch_keeps_mirror_exact(self):
+        """Ops after a fallback apply support-only; supports stay exact
+        and a reseed restores φ service."""
+        edges = [(u, v) for u in (0, 1, 2) for v in (0, 1, 2)]
+        dyn = DynamicBipartiteGraph(4, 3, edges)
+        tracker = dyn.enable_incremental()
+        batch = tracker.apply_batch(
+            inserts=[(3, 0), (3, 1)], max_region_edges=0
+        )
+        assert batch.fallback
+        # (3, 0) completes no butterfly — trivially exact, no fallback;
+        # (3, 1) predicts a blowout under cap 0 and goes dirty.
+        assert not batch.reports[0].fallback
+        assert batch.reports[1].fallback
+        assert dyn.has_edge(3, 0) and dyn.has_edge(3, 1)
+        tracker.reseed(fresh_phi(dyn))
+        assert_exact(tracker)
+
+    def test_batch_validates_atomically(self):
+        """A bad op anywhere rejects the whole batch before any mutation."""
+        dyn = DynamicBipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        tracker = dyn.enable_incremental()
+        before = tracker.phi_map()
+        with pytest.raises(ValueError, match="not present"):
+            tracker.apply_batch(inserts=[(2, 2)], deletes=[(2, 0)])
+        with pytest.raises(ValueError, match="already present"):
+            tracker.apply_batch(inserts=[(2, 2), (0, 0)])
+        with pytest.raises(ValueError, match="duplicate insert"):
+            tracker.apply_batch(inserts=[(2, 2), (2, 2)])
+        assert not dyn.has_edge(2, 2)
+        assert not tracker.dirty
+        assert tracker.phi_map() == before
+        assert_exact(tracker)
+
+    def test_bundled_dataset_batch_churn(self):
+        """Batched churn on a bundled dataset stays bitwise exact after
+        every batch (the batch analogue of ISSUE 5's acceptance)."""
+        graph = load_dataset("marvel")
+        result = bitruss_decomposition(graph, algorithm=ALGORITHM)
+        dyn = DynamicBipartiteGraph(
+            graph.num_upper, graph.num_lower, list(graph.edges())
+        )
+        tracker = dyn.enable_incremental(
+            {
+                graph.edge_endpoints(e): int(result.phi[e])
+                for e in range(graph.num_edges)
+            }
+        )
+        rng = np.random.default_rng(29)
+        edges = list(graph.edges())
+        for _ in range(3):
+            ins, dels, seen = [], [], set()
+            while len(seen) < 4:
+                u, v = edges[int(rng.integers(0, len(edges)))]
+                if (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                (dels if dyn.has_edge(u, v) else ins).append((u, v))
+            batch = tracker.apply_batch(ins, dels)
+            assert not batch.fallback
+            assert_exact(tracker)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=1,
+        max_size=24,
+    ),
+    st.integers(2, 6),
+)
+def test_batched_churn_property(ops, batch_size):
+    """Hypothesis: random edge toggles applied in batches — overlapping
+    and disjoint regions alike — keep φ bitwise exact after every batch."""
+    dyn = DynamicBipartiteGraph(5, 5)
+    tracker = dyn.enable_incremental()
+    for start in range(0, len(ops), batch_size):
+        ins, dels, seen = [], [], set()
+        for u, v in ops[start : start + batch_size]:
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            (dels if dyn.has_edge(u, v) else ins).append((u, v))
+        batch = tracker.apply_batch(ins, dels)
+        assert not batch.fallback
+        assert len(batch.reports) == len(ins) + len(dels)
+        assert_exact(tracker)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=1,
+        max_size=16,
+    ),
+    st.integers(1, 8),
+)
+def test_batched_churn_with_budget_property(ops, cap):
+    """Hypothesis: under a tight budget (predicted-fallback mixes), a
+    batch either stays exact or goes dirty with the mirror still exact —
+    and a reseed always restores bitwise parity."""
+    dyn = DynamicBipartiteGraph(5, 5)
+    tracker = dyn.enable_incremental()
+    for start in range(0, len(ops), 4):
+        ins, dels, seen = [], [], set()
+        for u, v in ops[start : start + 4]:
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            (dels if dyn.has_edge(u, v) else ins).append((u, v))
+        batch = tracker.apply_batch(ins, dels, max_region_edges=cap)
+        if tracker.dirty:
+            tracker.reseed(fresh_phi(dyn))
+        assert_exact(tracker)
+
+
+# --------------------------------------------------------- adaptive budget
+
+
+class TestAdaptiveBudget:
+    def test_cold_start_uses_ceiling(self):
+        budget = AdaptiveBudget()
+        assert budget.cap(1000, 0.15) == 150
+
+    def test_ewma_tightens_ceiling(self):
+        budget = AdaptiveBudget()
+        for _ in range(4):
+            budget.observe(10)
+        assert budget.ewma == pytest.approx(10.0)
+        # 8x headroom over a size-10 EWMA beats the 150-edge ceiling.
+        assert budget.cap(1000, 0.15) == 80
+        budget.observe(100)
+        cap = budget.cap(1000, 0.15)
+        assert 64 < cap <= 150
+
+    def test_never_exceeds_ceiling(self):
+        budget = AdaptiveBudget()
+        budget.observe(10_000)
+        assert budget.cap(1000, 0.15) == 150
+
+    def test_unbounded_without_fraction(self):
+        """No ceiling means no budget at all — adaptivity only ever
+        tightens a finite ceiling (regression: the EWMA used to impose
+        a cap on unbounded callers)."""
+        budget = AdaptiveBudget()
+        budget.observe(2)
+        assert budget.cap(1000, None) is None
+
+    def test_disabled_pins_static_ceiling(self):
+        budget = AdaptiveBudget(enabled=False)
+        budget.observe(2)
+        assert budget.cap(1000, 0.15) == 150
+
+    def test_zero_regions_ignored(self):
+        budget = AdaptiveBudget()
+        budget.observe(0)
+        assert budget.ewma is None and budget.samples == 0

@@ -1000,6 +1000,44 @@ class TestIncrementalServing:
                 registry, debounce=0.01, max_incremental_batch=1
             )
             updates.attach("fig4")
+            graph = artifact.graph
+            present = next(
+                (u, v)
+                for u in range(graph.num_upper)
+                for v in range(graph.num_lower)
+                if graph.has_edge(u, v)
+            )
+            # Two *net* ops (insert + unrelated delete) overflow the
+            # max_incremental_batch=1 cap — an insert-then-delete of the
+            # same edge would canonicalize away instead.
+            outcome = updates.apply(
+                "fig4",
+                [
+                    {"op": "insert", "u": 0, "v": 3},
+                    {"op": "delete", "u": present[0], "v": present[1]},
+                ],
+            )
+            assert outcome["rebuild"] == "scheduled"
+            assert updates.dynamic("fig4").tracker.dirty
+            await updates.wait_idle()
+            assert updates.stats()["fig4"]["tracker_dirty"] is False
+
+        run(scenario())
+
+    def test_batch_net_noop_needs_no_rebuild(self):
+        """An insert-then-delete of the same edge cancels out: the final
+        graph (hence φ) is untouched, so the batch publishes nothing and
+        the tracker stays clean — even past the batch-size cap."""
+
+        async def scenario():
+            artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
+            registry = ArtifactRegistry()
+            registry.register("fig4", artifact, allow_stale=True)
+            updates = UpdateManager(
+                registry, debounce=0.01, max_incremental_batch=1
+            )
+            updates.attach("fig4")
+            before = registry.get("fig4").version
             outcome = updates.apply(
                 "fig4",
                 [
@@ -1007,10 +1045,12 @@ class TestIncrementalServing:
                     {"op": "delete", "u": 0, "v": 3},
                 ],
             )
-            assert outcome["rebuild"] == "scheduled"
-            assert updates.dynamic("fig4").tracker.dirty
-            await updates.wait_idle()
-            assert updates.stats()["fig4"]["tracker_dirty"] is False
+            assert outcome["rebuild"] == "not_needed"
+            assert outcome["applied"] == 2
+            assert outcome["butterfly_delta"] == 0
+            assert not updates.dynamic("fig4").tracker.dirty
+            assert not updates.pending("fig4")
+            assert registry.get("fig4").version == before
 
         run(scenario())
 
@@ -1042,9 +1082,11 @@ class TestIncrementalServing:
 
         run(scenario())
 
-    def test_partial_batch_error_still_patches_applied_prefix(self):
-        """A MutationError mid-batch leaves earlier ops applied; the
-        incremental path must still publish the repaired prefix."""
+    def test_partial_batch_error_applies_nothing(self):
+        """A bad op anywhere in the batch rejects the whole batch before
+        anything mutates: ``applied == 0``, the mirror and the served
+        graph stay bitwise where they were, and no rebuild is scheduled
+        (regression: the valid prefix used to land half-applied)."""
 
         async def scenario():
             artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
@@ -1057,6 +1099,7 @@ class TestIncrementalServing:
                     for v in range(graph.num_lower)
                     if not graph.has_edge(u, v)
                 )
+                edges_before = server.updates.dynamic("fig4").num_edges
                 status, body = await http(
                     server.port,
                     "POST",
@@ -1069,16 +1112,55 @@ class TestIncrementalServing:
                     },
                 )
                 assert status == 400
-                assert body["error"]["applied"] == 1
-                # The applied prefix is live: either patched in place or a
-                # rebuild reconciles it, but the mirror and the served
-                # graph must agree once idle.
-                await server.updates.wait_idle()
+                assert body["error"]["applied"] == 0
+                assert "op #1" in body["error"]["message"]
+                assert server.updates.dynamic("fig4").num_edges == edges_before
+                assert not server.updates.pending("fig4")
+                assert not server.updates.dynamic("fig4").tracker.dirty
                 entry = server.registry.get("fig4")
-                assert (
-                    entry.engine.graph.num_edges
-                    == server.updates.dynamic("fig4").num_edges
+                assert entry.version == 1
+                assert entry.engine.graph.num_edges == edges_before
+
+        run(scenario())
+
+    def test_predicted_fallback_burst_costs_one_rebuild(self):
+        """N batches the predictor routes straight to fallback must
+        coalesce into exactly ONE debounced rebuild, not one per batch
+        (the ISSUE's burst contract)."""
+
+        async def scenario():
+            artifact = build_artifact(paper_figure4_graph(), algorithm=ALGORITHM)
+            registry = ArtifactRegistry()
+            registry.register("fig4", artifact, allow_stale=True)
+            # A sub-1/m threshold makes the adaptive cap 0, so every op is
+            # a *predicted* fallback (estimate >= 1) — no region search,
+            # no abort, straight to the debounced rebuild.
+            updates = UpdateManager(
+                registry, debounce=0.05, rebuild_threshold=1e-9
+            )
+            updates.attach("fig4")
+            graph = artifact.graph
+            present = [
+                (u, v)
+                for u in range(graph.num_upper)
+                for v in range(graph.num_lower)
+                if graph.has_edge(u, v)
+            ][:5]
+            for u, v in present:
+                outcome = updates.apply(
+                    "fig4", [{"op": "delete", "u": u, "v": v}]
                 )
+                assert outcome["rebuild"] == "scheduled"
+            stats = updates.stats()["fig4"]
+            assert stats["predicted_fallbacks"] >= 1
+            assert stats["incremental_fallbacks"] == 1  # later batches saw dirty
+            await updates.wait_idle()
+            stats = updates.stats()["fig4"]
+            assert stats["rebuilds"] == 1
+            assert stats["tracker_dirty"] is False
+            entry = registry.get("fig4")
+            assert entry.version == 2  # the single rebuild's swap
+            assert entry.engine.graph.num_edges == updates.dynamic("fig4").num_edges
 
         run(scenario())
 
